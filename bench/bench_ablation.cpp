@@ -1,0 +1,154 @@
+// E12 — ablations: what each design ingredient of CPS buys.
+//
+//   1. Echo guard (the "crusader" in Crusader Broadcast): without the
+//      Figure-2 third-party rejection, a two-faced Byzantine dealer feeds
+//      inconsistent estimates to different halves of the cluster and the
+//      skew degrades — exactly the Lynch–Welch failure mode CPS exists to
+//      prevent at f ≥ n/3.
+//   2. f−b discard rule (Figure 1): the naive always-f discard ignores the
+//      fault information carried by ⊥ outputs and over-discards honest
+//      values; under ⊥-heavy attacks the estimate quality drops.
+//   3. Dealer send offset ϑS (Figure 2): without it, fast receivers get the
+//      dealer's signature before their own pulse — outside the acceptance
+//      window — and honest broadcasts are lost (validity, Lemma 10).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/cps.hpp"
+
+namespace crusader {
+namespace {
+
+struct AblationOutcome {
+  double steady_skew = 0.0;
+  double worst_skew = 0.0;
+  std::uint64_t bots = 0;
+  bool live = false;
+};
+
+AblationOutcome run_variant(const sim::ModelParams& model,
+                            const core::CpsConfig& cps, std::uint32_t f_actual,
+                            core::ByzStrategy strategy, double split_shift,
+                            std::size_t rounds, std::uint64_t seed) {
+  std::vector<core::CpsNode*> nodes(model.n, nullptr);
+  sim::HonestFactory honest = [&nodes, cps](NodeId v) {
+    auto node = std::make_unique<core::CpsNode>(cps);
+    nodes[v] = node.get();
+    return node;
+  };
+  sim::ByzantineFactory byz;
+  if (f_actual > 0) {
+    byz = core::make_byzantine_factory(strategy, honest, seed, 0.0,
+                                       split_shift);
+  }
+
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  auto config = bench::world_config(model, setup, rounds, seed);
+  config.faulty = sim::default_faulty_set(f_actual);
+  config.delay_kind = sim::DelayKind::kSplit;
+  sim::World world(config, honest, byz);
+  const auto result = world.run();
+
+  AblationOutcome out;
+  out.live = result.trace.live(rounds);
+  out.worst_skew = result.trace.max_skew();
+  out.steady_skew = result.trace.complete_rounds() > rounds / 3
+                        ? result.trace.max_skew(rounds / 3)
+                        : result.trace.max_skew();
+  for (auto* node : nodes)
+    if (node != nullptr) out.bots += node->stats().bot_estimates;
+  return out;
+}
+
+}  // namespace
+
+int run_bench() {
+  const std::uint32_t n = 6;
+  const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+  const auto model = bench::bench_model(n, f);
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  const std::size_t rounds = 30;
+  const double split_shift = 0.15;
+
+  core::CpsConfig standard;
+  standard.params = setup.cps;
+
+  // ---- Ablation 1: echo guard ------------------------------------------------
+  util::Table t1(
+      "E12a: echo-guard ablation (two-faced dealer, f = ceil(n/2)-1)");
+  t1.set_header({"variant", "steady skew", "bot estimates", "live"});
+  {
+    const auto full = run_variant(model, standard, f, core::ByzStrategy::kSplit,
+                                  split_shift, rounds, 3);
+    core::CpsConfig no_guard = standard;
+    no_guard.ablate_echo_guard = true;
+    const auto ablated = run_variant(model, no_guard, f,
+                                     core::ByzStrategy::kSplit, split_shift,
+                                     rounds, 3);
+    t1.add_row({"CPS (full)", util::Table::num(full.steady_skew, 4),
+                std::to_string(full.bots), util::Table::boolean(full.live)});
+    t1.add_row({"CPS w/o echo guard", util::Table::num(ablated.steady_skew, 4),
+                std::to_string(ablated.bots),
+                util::Table::boolean(ablated.live)});
+    t1.add_row({"degradation", util::Table::num(
+                                   ablated.steady_skew /
+                                       std::max(full.steady_skew, 1e-9), 2) +
+                                   "x",
+                "-", "-"});
+  }
+  bench::print(t1);
+
+  // ---- Ablation 2: discard rule ---------------------------------------------
+  util::Table t2("E12b: discard-rule ablation (crash faults force bots)");
+  t2.set_header({"variant", "steady skew", "worst skew", "live"});
+  {
+    const auto full = run_variant(model, standard, f, core::ByzStrategy::kCrash,
+                                  0.0, rounds, 5);
+    core::CpsConfig naive = standard;
+    naive.ablate_discard_rule = true;
+    const auto ablated = run_variant(model, naive, f,
+                                     core::ByzStrategy::kCrash, 0.0, rounds, 5);
+    t2.add_row({"f-b discard (Fig. 1)", util::Table::num(full.steady_skew, 4),
+                util::Table::num(full.worst_skew, 4),
+                util::Table::boolean(full.live)});
+    t2.add_row({"naive always-f discard",
+                util::Table::num(ablated.steady_skew, 4),
+                util::Table::num(ablated.worst_skew, 4),
+                util::Table::boolean(ablated.live)});
+  }
+  bench::print(t2);
+
+  // ---- Ablation 3: dealer send offset ----------------------------------------
+  // The ϑS offset matters exactly when the skew bound exceeds the minimum
+  // delay (S > d−u): a node pulsing S late would otherwise receive honest
+  // signatures *before* its own pulse, outside the window (Lemma 10's
+  // t_y ≥ p_y + S step). Use a high-uncertainty model where S ≈ 1.5 > d−u.
+  util::Table t3(
+      "E12c: dealer-offset ablation (u = 0.3: S > d-u, worst-case offsets)");
+  t3.set_header({"variant", "worst skew", "bot estimates", "live"});
+  {
+    const auto loose_model = bench::bench_model(n, f, /*u=*/0.3);
+    const auto loose_setup =
+        baselines::make_setup(baselines::ProtocolKind::kCps, loose_model);
+    core::CpsConfig loose;
+    loose.params = loose_setup.cps;
+    const auto full = run_variant(loose_model, loose, 0,
+                                  core::ByzStrategy::kCrash, 0.0, rounds, 7);
+    core::CpsConfig no_offset = loose;
+    no_offset.params.dealer_offset = 0.0;  // violate Figure 2
+    const auto ablated = run_variant(loose_model, no_offset, 0,
+                                     core::ByzStrategy::kCrash, 0.0, rounds, 7);
+    t3.add_row({"send at L + vtS", util::Table::num(full.worst_skew, 4),
+                std::to_string(full.bots), util::Table::boolean(full.live)});
+    t3.add_row({"send at L", util::Table::num(ablated.worst_skew, 4),
+                std::to_string(ablated.bots),
+                util::Table::boolean(ablated.live)});
+  }
+  bench::print(t3);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

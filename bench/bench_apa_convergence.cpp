@@ -1,0 +1,165 @@
+// E1 — Figure 1 / Theorem 9 / Corollary 2.
+//
+// Table 1: honest-value range after each APA iteration (must at least halve
+//          per iteration) at resilience f = ⌈n/2⌉−1, per adversary.
+// Table 2: iterations needed to reach ε vs the Corollary-2 prediction
+//          ⌈log₂(ℓ/ε)⌉ (2 rounds per iteration).
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "sync/approx_agreement.hpp"
+#include "sync/sync_adversary.hpp"
+
+namespace crusader {
+namespace {
+
+using sync::Outbox;
+
+std::vector<bool> faulty_mask(std::uint32_t n, std::uint32_t f) {
+  std::vector<bool> mask(n, false);
+  for (std::uint32_t i = 0; i < f; ++i) mask[n - 1 - i] = true;
+  return mask;
+}
+
+std::vector<NodeId> faulty_ids(const std::vector<bool>& mask) {
+  std::vector<NodeId> ids;
+  for (NodeId v = 0; v < mask.size(); ++v)
+    if (mask[v]) ids.push_back(v);
+  return ids;
+}
+
+std::unique_ptr<sync::RushingAdversary> make_adversary(int which,
+                                                       std::vector<NodeId> ids,
+                                                       std::uint32_t n,
+                                                       crypto::Pki& pki) {
+  switch (which) {
+    case 0: return std::make_unique<sync::SilentSyncAdversary>(ids, n, pki);
+    case 1:
+      return std::make_unique<sync::EquivocatorSyncAdversary>(ids, n, pki);
+    case 2:
+      return std::make_unique<sync::ExtremePullSyncAdversary>(ids, n, pki,
+                                                              100.0);
+    case 3: return std::make_unique<sync::PartialSyncAdversary>(ids, n, pki);
+    default:
+      return std::make_unique<sync::RandomSyncAdversary>(ids, n, pki, 99);
+  }
+}
+
+const char* adversary_name(int which) {
+  switch (which) {
+    case 0: return "silent";
+    case 1: return "equivocate";
+    case 2: return "extreme-pull";
+    case 3: return "partial";
+    default: return "random";
+  }
+}
+
+double honest_range_at(const sync::ApaRunResult& result,
+                       const std::vector<bool>& mask, std::uint32_t iter) {
+  double lo = 1e300, hi = -1e300;
+  for (NodeId v = 0; v < mask.size(); ++v) {
+    if (mask[v]) continue;
+    lo = std::min(lo, result.trajectories[v][iter]);
+    hi = std::max(hi, result.trajectories[v][iter]);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+int run_bench() {
+  // ---- Table 1: per-iteration range contraction -----------------------------
+  util::Table t1(
+      "E1a: APA honest range per iteration (f = ceil(n/2)-1, ell = 8)");
+  t1.set_header({"n", "f", "adversary", "iter1", "iter2", "iter3", "iter4",
+                 "halving ok"});
+
+  const std::uint32_t iterations = 4;
+  for (std::uint32_t n : {5u, 9u, 15u, 25u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    for (int adv = 0; adv < 5; ++adv) {
+      crypto::Pki pki(n, crypto::Pki::Kind::kSymbolic, 7);
+      const auto mask = faulty_mask(n, f);
+      util::Rng rng(17 + n);
+      std::vector<double> inputs(n, 0.0);
+      for (NodeId v = 0; v < n; ++v)
+        if (!mask[v]) inputs[v] = rng.uniform(0.0, 8.0);
+      double ell = 0.0;
+      {
+        double lo = 1e300, hi = -1e300;
+        for (NodeId v = 0; v < n; ++v) {
+          if (mask[v]) continue;
+          lo = std::min(lo, inputs[v]);
+          hi = std::max(hi, inputs[v]);
+        }
+        ell = hi - lo;
+      }
+
+      auto adversary = make_adversary(adv, faulty_ids(mask), n, pki);
+      const auto result =
+          sync::run_apa(n, f, mask, inputs, iterations, adversary.get(), pki);
+
+      std::vector<std::string> row = {std::to_string(n), std::to_string(f),
+                                      adversary_name(adv)};
+      bool ok = true;
+      double allowed = ell;
+      for (std::uint32_t i = 0; i < iterations; ++i) {
+        const double range = honest_range_at(result, mask, i);
+        allowed /= 2.0;
+        ok = ok && range <= allowed + 1e-9;
+        row.push_back(util::Table::num(range, 4));
+      }
+      row.push_back(util::Table::boolean(ok));
+      t1.add_row(row);
+    }
+  }
+  bench::print(t1);
+
+  // ---- Table 2: rounds to reach epsilon (Corollary 2) -----------------------
+  util::Table t2("E1b: iterations to reach eps vs Corollary 2 bound");
+  t2.set_header({"n", "f", "ell", "eps", "predicted iters", "measured iters",
+                 "within bound"});
+  for (std::uint32_t n : {7u, 13u, 21u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    for (double eps : {0.5, 0.05, 0.005}) {
+      const double ell = 8.0;
+      const auto predicted =
+          static_cast<std::uint32_t>(std::ceil(std::log2(ell / eps)));
+
+      crypto::Pki pki(n, crypto::Pki::Kind::kSymbolic, 11);
+      const auto mask = faulty_mask(n, f);
+      std::vector<double> inputs(n, 0.0);
+      std::uint32_t idx = 0;
+      for (NodeId v = 0; v < n; ++v)
+        if (!mask[v]) inputs[v] = ell * (idx++ % 2 == 0 ? 0.0 : 1.0);
+
+      // Partial delivery is the hardest case for convergence speed: it
+      // creates per-node asymmetric ⊥ patterns (Lemmas 7/8), so the range
+      // actually halves instead of collapsing at once.
+      sync::PartialSyncAdversary adversary(faulty_ids(mask), n, pki);
+      const auto result =
+          sync::run_apa(n, f, mask, inputs, predicted + 3, &adversary, pki);
+
+      std::uint32_t measured = predicted + 3;
+      for (std::uint32_t i = 0; i < predicted + 3; ++i) {
+        if (honest_range_at(result, mask, i) <= eps) {
+          measured = i + 1;
+          break;
+        }
+      }
+      t2.add_row({std::to_string(n), std::to_string(f),
+                  util::Table::num(ell, 1), util::Table::num(eps, 3),
+                  std::to_string(predicted), std::to_string(measured),
+                  util::Table::boolean(measured <= predicted)});
+    }
+  }
+  bench::print(t2);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,82 @@
+// E3 — Figure 3 / Theorem 17: CPS worst-case skew vs the analytic bound S,
+// at full resilience f = ⌈n/2⌉−1 under every Byzantine strategy.
+//
+// The table reports, per (n, strategy): worst skew over seeds × clock
+// assignments, the analytic S, their ratio, liveness and ⊥ activity.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace crusader {
+
+int run_bench() {
+  util::Table table(
+      "E3: CPS worst-case skew vs Theorem-17 bound S (f = ceil(n/2)-1)");
+  table.set_header({"n", "f", "strategy", "worst skew", "steady (r>=5)",
+                    "S bound", "skew/S", "live", "rounds"});
+
+  const std::vector<std::uint64_t> seeds = {1, 2, 3};
+  const std::size_t rounds = 20;
+
+  for (std::uint32_t n : {3u, 5u, 7u, 9u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    const auto model = bench::bench_model(n, f);
+    const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+
+    for (core::ByzStrategy strategy : core::all_byz_strategies()) {
+      double worst = 0.0;
+      double steady = 0.0;
+      bool live = true;
+      std::size_t min_rounds = 1u << 30;
+      for (std::uint64_t seed : seeds) {
+        for (auto clocks :
+             {sim::ClockKind::kSpread, sim::ClockKind::kRandomWalk}) {
+          const auto result = bench::run_protocol(
+              baselines::ProtocolKind::kCps, model, f, strategy, seed, rounds,
+              clocks, sim::DelayKind::kRandom,
+              /*late_shift=*/0.3 * setup.cps.accept_window,
+              /*split_shift=*/0.2);
+          worst = std::max(worst, result.trace.max_skew());
+          steady = std::max(steady, result.trace.max_skew(5));
+          live = live && result.trace.live(rounds);
+          min_rounds = std::min(min_rounds, result.trace.complete_rounds());
+        }
+      }
+      table.add_row({std::to_string(n), std::to_string(f),
+                     core::to_string(strategy), util::Table::num(worst, 4),
+                     util::Table::num(steady, 4),
+                     util::Table::num(setup.cps.S, 4),
+                     util::Table::num(worst / setup.cps.S, 3),
+                     util::Table::boolean(live), std::to_string(min_rounds)});
+    }
+  }
+  bench::print(table);
+
+  // Steady-state view: after the initial offsets contract, the skew lives at
+  // the δ-scale, well below S.
+  util::Table steady("E3b: CPS steady-state skew (rounds 10+) vs S and delta");
+  steady.set_header({"n", "strategy", "steady skew", "delta", "S"});
+  for (std::uint32_t n : {5u, 9u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    const auto model = bench::bench_model(n, f);
+    const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+    for (core::ByzStrategy strategy :
+         {core::ByzStrategy::kCrash, core::ByzStrategy::kSplit,
+          core::ByzStrategy::kPullEarly, core::ByzStrategy::kRandom}) {
+      const double skew =
+          bench::worst_steady_skew(baselines::ProtocolKind::kCps, model, f,
+                                   strategy, 30, 10, {1, 2, 3}, 0.2);
+      steady.add_row({std::to_string(n), core::to_string(strategy),
+                      util::Table::num(skew, 4),
+                      util::Table::num(setup.cps.delta, 4),
+                      util::Table::num(setup.cps.S, 4)});
+    }
+  }
+  bench::print(steady);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,96 @@
+// E8 — Corollary 4 and the Θ(u + (ϑ−1)d) shape of S.
+//
+// Table 1: ϑ sweep — S(ϑ), T(ϑ) blow up approaching the feasibility
+//          threshold ϑ_max (our analogue of the paper's ϑ ≤ 1.11).
+// Table 2: ϑ_max as a function of u (Corollary 4 is about constants, not u —
+//          the threshold must be nearly flat).
+// Table 3: linear fits confirming S ∝ u (fixed ϑ) and S ∝ d (fixed u≈0, ϑ),
+//          i.e. S ∈ Θ(u + (ϑ−1)d).
+
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "util/stats.hpp"
+
+namespace crusader {
+
+int run_bench() {
+  // ---- Table 1: vartheta sweep ----------------------------------------------
+  util::Table t1("E8a: S and T vs vartheta (d = 1, u = 0.01)");
+  t1.set_header({"vartheta", "feasible", "S", "T", "S/(u+(vt-1)d)"});
+  const double d = 1.0;
+  const double u = 0.01;
+  for (double vt : {1.001, 1.01, 1.02, 1.04, 1.06, 1.07, 1.075, 1.08, 1.09,
+                    1.12}) {
+    const auto params = core::derive_cps_params(bench::bench_model(5, 2, u, vt));
+    if (params.feasible) {
+      t1.add_row({util::Table::num(vt, 4), "yes", util::Table::num(params.S, 4),
+                  util::Table::num(params.T, 4),
+                  util::Table::num(params.S / (u + (vt - 1.0) * d), 2)});
+    } else {
+      t1.add_row({util::Table::num(vt, 4), "NO", "-", "-", "-"});
+    }
+  }
+  bench::print(t1);
+
+  // ---- Table 2: feasibility threshold ---------------------------------------
+  util::Table t2("E8b: feasibility threshold vartheta_max (Corollary 4)");
+  t2.set_header({"u/d", "vartheta_max"});
+  for (double uu : {0.001, 0.01, 0.05, 0.1, 0.3}) {
+    t2.add_row({util::Table::num(uu, 3),
+                util::Table::num(core::ParamSolver::max_vartheta(1.0, uu), 5)});
+  }
+  bench::print(t2);
+
+  // ---- Table 3: linearity fits ----------------------------------------------
+  util::Table t3("E8c: S is linear in u and in (vartheta-1)d");
+  t3.set_header({"sweep", "slope", "intercept", "r^2"});
+  {
+    std::vector<double> xs, ys;
+    for (double uu = 0.005; uu <= 0.2; uu += 0.005) {
+      xs.push_back(uu);
+      ys.push_back(core::derive_cps_params(
+                       bench::bench_model(5, 2, uu, 1.002)).S);
+    }
+    const auto fit = util::fit_linear(xs, ys);
+    t3.add_row({"u in [0.005,0.2], vt=1.002", util::Table::num(fit.slope, 3),
+                util::Table::num(fit.intercept, 4),
+                util::Table::num(fit.r2, 6)});
+  }
+  {
+    std::vector<double> xs, ys;
+    for (double dd = 0.5; dd <= 8.0; dd += 0.5) {
+      xs.push_back(dd);
+      ys.push_back(core::derive_cps_params(
+                       bench::bench_model(5, 2, 1e-5, 1.002, dd)).S);
+    }
+    const auto fit = util::fit_linear(xs, ys);
+    t3.add_row({"d in [0.5,8], u~0, vt=1.002", util::Table::num(fit.slope, 4),
+                util::Table::num(fit.intercept, 5),
+                util::Table::num(fit.r2, 6)});
+  }
+  bench::print(t3);
+
+  // ---- Table 4: measured skew tracks the analytic shape ---------------------
+  util::Table t4("E8d: measured steady skew scales with u (CPS, n=5, f=2)");
+  t4.set_header({"u", "S bound", "measured steady skew"});
+  std::vector<double> us, measured;
+  for (double uu : {0.01, 0.02, 0.04, 0.08}) {
+    const auto model = bench::bench_model(5, 2, uu, 1.002);
+    const double skew = bench::worst_steady_skew(
+        baselines::ProtocolKind::kCps, model, 2, core::ByzStrategy::kPullEarly,
+        20, 8, {1, 2});
+    us.push_back(uu);
+    measured.push_back(skew);
+    t4.add_row({util::Table::num(uu, 3),
+                util::Table::num(core::derive_cps_params(model).S, 4),
+                util::Table::num(skew, 4)});
+  }
+  const auto fit = util::fit_linear(us, measured);
+  t4.add_row({"linear fit r^2", "", util::Table::num(fit.r2, 4)});
+  bench::print(t4);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,70 @@
+// E5 — Theorem 5: the executable three-execution adversary.
+//
+// For n = 3 and ũ ∈ [u, d], realize executions Ex⁰, Ex¹, Ex² and report the
+// worst per-execution skew vs the bound 2ũ/3, for each protocol. The upper
+// bound S (valid when ũ = u) brackets the realized skew from above.
+
+#include "bench_common.hpp"
+#include "lowerbound/theorem5.hpp"
+
+namespace crusader {
+
+int run_bench() {
+  util::Table table("E5: Theorem-5 realized skew vs the 2*u_tilde/3 bound");
+  table.set_header({"protocol", "u_tilde", "bound 2ut/3", "realized skew",
+                    "telescoped sum", "rounds", "bound holds"});
+
+  for (auto protocol :
+       {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kLynchWelch,
+        baselines::ProtocolKind::kSrikanthToueg}) {
+    for (double u_tilde : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      sim::ModelParams model;
+      model.n = 3;
+      model.f = 1;
+      model.d = 1.0;
+      model.u = 0.05;
+      model.u_tilde = u_tilde;
+      model.vartheta = 1.05;
+
+      const auto report = lowerbound::run_theorem5(protocol, model, 40);
+      table.add_row({baselines::to_string(protocol),
+                     util::Table::num(u_tilde, 2),
+                     util::Table::num(report.bound, 4),
+                     util::Table::num(report.max_skew, 4),
+                     util::Table::num(report.telescoped_sum, 4),
+                     std::to_string(report.rounds),
+                     util::Table::boolean(report.bound_holds)});
+    }
+  }
+  bench::print(table);
+
+  // Consistency with the upper bound at ũ = u.
+  util::Table bracket("E5b: lower bound vs upper bound at u_tilde = u");
+  bracket.set_header(
+      {"u = u_tilde", "2u/3 (lower)", "realized", "S (upper)", "bracketed"});
+  for (double u : {0.02, 0.05, 0.1}) {
+    sim::ModelParams model;
+    model.n = 3;
+    model.f = 1;
+    model.d = 1.0;
+    model.u = u;
+    model.u_tilde = u;
+    model.vartheta = 1.04;
+    const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+    if (!setup.feasible) continue;
+    const auto report =
+        lowerbound::run_theorem5(baselines::ProtocolKind::kCps, model, 40);
+    const bool ok = report.bound_holds && report.max_skew <= setup.cps.S + 1e-9;
+    bracket.add_row({util::Table::num(u, 3),
+                     util::Table::num(report.bound, 4),
+                     util::Table::num(report.max_skew, 4),
+                     util::Table::num(setup.cps.S, 4),
+                     util::Table::boolean(ok)});
+  }
+  bench::print(bracket);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

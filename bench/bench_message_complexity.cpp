@@ -1,0 +1,81 @@
+// E9 — message and signature complexity per pulse round vs n.
+//
+// CPS pays Θ(n³) messages per pulse (n TCB instances × n echoers × n
+// recipients) for its optimal-resilience consistency; LW and ST pay Θ(n²).
+// The table reports measured per-round counts and the log-log growth
+// exponent.
+
+#include <cmath>
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace crusader {
+namespace {
+
+struct Complexity {
+  double messages_per_round = 0.0;
+  double signatures_per_round = 0.0;
+  double verifies_per_round = 0.0;
+};
+
+Complexity measure(baselines::ProtocolKind kind, std::uint32_t n,
+                   std::size_t rounds) {
+  const auto model =
+      bench::bench_model(n, sim::ModelParams::max_faults_signed(n));
+  const auto result = bench::run_protocol(kind, model, 0,
+                                          core::ByzStrategy::kCrash, 1, rounds);
+  const auto done = static_cast<double>(result.trace.complete_rounds());
+  Complexity out;
+  out.messages_per_round = static_cast<double>(result.messages) / done;
+  out.signatures_per_round =
+      static_cast<double>(result.signatures_carried) / done;
+  out.verifies_per_round = static_cast<double>(result.verify_ops) / done;
+  return out;
+}
+
+}  // namespace
+
+int run_bench() {
+  const std::vector<std::uint32_t> ns = {4, 6, 9, 13, 19, 27};
+  const std::size_t rounds = 8;
+
+  util::Table table("E9: per-round message/signature complexity vs n");
+  table.set_header({"protocol", "n", "msgs/round", "sigs/round",
+                    "verifies/round"});
+
+  std::map<baselines::ProtocolKind, std::vector<double>> log_msgs;
+  std::vector<double> log_ns;
+  for (std::uint32_t n : ns) log_ns.push_back(std::log(static_cast<double>(n)));
+
+  for (auto kind :
+       {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kLynchWelch,
+        baselines::ProtocolKind::kSrikanthToueg}) {
+    for (std::uint32_t n : ns) {
+      const Complexity c = measure(kind, n, rounds);
+      log_msgs[kind].push_back(std::log(c.messages_per_round));
+      table.add_row({baselines::to_string(kind), std::to_string(n),
+                     util::Table::num(c.messages_per_round, 1),
+                     util::Table::num(c.signatures_per_round, 1),
+                     util::Table::num(c.verifies_per_round, 1)});
+    }
+  }
+  bench::print(table);
+
+  util::Table exponents("E9b: growth exponents (log-log slope of msgs/round)");
+  exponents.set_header({"protocol", "exponent", "expected"});
+  for (auto& [kind, logs] : log_msgs) {
+    const auto fit = util::fit_linear(log_ns, logs);
+    const char* expected =
+        kind == baselines::ProtocolKind::kCps ? "3 (n^3)" : "2 (n^2)";
+    exponents.add_row({std::string(baselines::to_string(kind)),
+                       util::Table::num(fit.slope, 2), std::string(expected)});
+  }
+  bench::print(exponents);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,67 @@
+// E6 — Theorem 17 period bounds: measured P_min / P_max vs the analytic
+// (T − (ϑ+1)S)/ϑ and T + 3S, across adversaries and clock assignments.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace crusader {
+
+int run_bench() {
+  util::Table table("E6: CPS pulse periods vs Theorem-17 bounds");
+  table.set_header({"n", "strategy", "clocks", "P_min meas", "P_min bound",
+                    "P_max meas", "P_max bound", "within"});
+
+  const std::size_t rounds = 20;
+  for (std::uint32_t n : {3u, 5u, 9u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    const auto model = bench::bench_model(n, f);
+    const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+
+    for (core::ByzStrategy strategy :
+         {core::ByzStrategy::kCrash, core::ByzStrategy::kSplit,
+          core::ByzStrategy::kPullLate}) {
+      for (auto clocks :
+           {sim::ClockKind::kSpread, sim::ClockKind::kRandomWalk}) {
+        double p_min = 1e300;
+        double p_max = 0.0;
+        for (std::uint64_t seed : {1ull, 2ull}) {
+          const auto result = bench::run_protocol(
+              baselines::ProtocolKind::kCps, model, f, strategy, seed, rounds,
+              clocks, sim::DelayKind::kRandom,
+              0.2 * setup.cps.accept_window, 0.1);
+          p_min = std::min(p_min, result.trace.min_period());
+          p_max = std::max(p_max, result.trace.max_period());
+        }
+        const bool ok = p_min >= setup.cps.p_min - 1e-9 &&
+                        p_max <= setup.cps.p_max + 1e-9;
+        table.add_row(
+            {std::to_string(n), core::to_string(strategy),
+             clocks == sim::ClockKind::kSpread ? "spread" : "walk",
+             util::Table::num(p_min, 4), util::Table::num(setup.cps.p_min, 4),
+             util::Table::num(p_max, 4), util::Table::num(setup.cps.p_max, 4),
+             util::Table::boolean(ok)});
+      }
+    }
+  }
+  bench::print(table);
+
+  // Period composition: T dominates, the correction |Δ| ≤ S + δ modulates.
+  util::Table anatomy("E6b: period anatomy (n = 5, crash faults)");
+  anatomy.set_header({"quantity", "value"});
+  const auto model = bench::bench_model(5, 2);
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  anatomy.add_row({"T (round length)", util::Table::num(setup.cps.T, 4)});
+  anatomy.add_row({"S (skew bound)", util::Table::num(setup.cps.S, 4)});
+  anatomy.add_row({"delta (est. error)", util::Table::num(setup.cps.delta, 4)});
+  anatomy.add_row({"P_min bound", util::Table::num(setup.cps.p_min, 4)});
+  anatomy.add_row({"P_max bound", util::Table::num(setup.cps.p_max, 4)});
+  anatomy.add_row(
+      {"P_max-P_min", util::Table::num(setup.cps.p_max - setup.cps.p_min, 4)});
+  bench::print(anatomy);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,89 @@
+// E7 — the resilience crossover (paper, Section 1): with signatures, CPS
+// sustains its skew bound all the way to f = ⌈n/2⌉−1; without them,
+// Lynch–Welch holds only below ⌈n/3⌉ and degrades beyond, under the
+// two-faced split-timing attack nothing unsigned can detect.
+
+#include <algorithm>
+
+#include "baselines/lynch_welch.hpp"
+#include "bench_common.hpp"
+
+namespace crusader {
+namespace {
+
+/// LW with a fixed protocol discard count (⌈n/3⌉−1) facing f_actual faults.
+double lw_skew_at(std::uint32_t n, std::uint32_t f_actual, double split_shift,
+                  std::uint64_t seed, std::size_t rounds) {
+  auto model = bench::bench_model(n, sim::ModelParams::max_faults_signed(n));
+  const auto setup =
+      baselines::make_setup(baselines::ProtocolKind::kLynchWelch, model);
+
+  baselines::LwConfig config;
+  config.params = setup.lw;
+  config.f = sim::ModelParams::max_faults_plain(n);
+  sim::HonestFactory honest = [config](NodeId) {
+    return std::make_unique<baselines::LynchWelchNode>(config);
+  };
+  sim::ByzantineFactory byz;
+  if (f_actual > 0) {
+    byz = core::make_byzantine_factory(core::ByzStrategy::kSplit, honest, seed,
+                                       0.0, split_shift);
+  }
+  auto wc = bench::world_config(model, setup, rounds, seed);
+  wc.faulty = sim::default_faulty_set(f_actual);
+  wc.delay_kind = sim::DelayKind::kSplit;
+  sim::World world(wc, honest, byz);
+  return world.run().trace.max_skew(rounds / 3);
+}
+
+}  // namespace
+
+int run_bench() {
+  const std::uint32_t n = 12;
+  const std::uint32_t f_signed = sim::ModelParams::max_faults_signed(n);  // 5
+  const std::uint32_t f_plain = sim::ModelParams::max_faults_plain(n);    // 3
+  const std::size_t rounds = 30;
+  const double split_shift = 0.15;
+
+  const auto model = bench::bench_model(n, f_signed);
+  const auto cps_setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  const auto lw_setup =
+      baselines::make_setup(baselines::ProtocolKind::kLynchWelch, model);
+
+  util::Table table(
+      "E7: steady-state skew vs fault count (n = 12, split-timing attack)");
+  table.set_header({"f actual", "CPS skew", "CPS ok (<= S)", "LW skew",
+                    "LW regime", "LW/CPS"});
+
+  for (std::uint32_t f_actual = 0; f_actual <= f_signed; ++f_actual) {
+    const double cps_skew = bench::worst_steady_skew(
+        baselines::ProtocolKind::kCps, model, f_actual,
+        core::ByzStrategy::kSplit, rounds, rounds / 3, {1, 2}, split_shift);
+
+    double lw_skew = 0.0;
+    for (std::uint64_t seed : {1ull, 2ull})
+      lw_skew = std::max(lw_skew, lw_skew_at(n, f_actual, split_shift, seed,
+                                             rounds));
+
+    const char* regime = f_actual <= f_plain ? "within f<n/3" : "BEYOND n/3";
+    table.add_row({std::to_string(f_actual), util::Table::num(cps_skew, 4),
+                   util::Table::boolean(cps_skew <= cps_setup.cps.S + 1e-9),
+                   util::Table::num(lw_skew, 4), regime,
+                   util::Table::num(lw_skew / std::max(cps_skew, 1e-9), 2)});
+  }
+  bench::print(table);
+
+  util::Table bounds("E7b: analytic context");
+  bounds.set_header({"quantity", "value"});
+  bounds.add_row({"CPS resilience ceil(n/2)-1", std::to_string(f_signed)});
+  bounds.add_row({"LW resilience ceil(n/3)-1", std::to_string(f_plain)});
+  bounds.add_row({"CPS S bound", util::Table::num(cps_setup.cps.S, 4)});
+  bounds.add_row({"LW S bound (f<n/3 only)", util::Table::num(lw_setup.lw.S, 4)});
+  bounds.add_row({"attack split shift", util::Table::num(split_shift, 3)});
+  bench::print(bounds);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,106 @@
+// E11 — Appendix A: CPS over sparse (f+1)-connected networks via signed
+// relay flooding with destination-side path balancing.
+//
+// Table 1: effective parameters and measured skew per topology — the skew
+//          budget scales with the worst-case relay distance D_f, matching
+//          the paper's "replace d and ũ by the end-to-end path bounds".
+// Table 2: ring-size sweep — S_eff and measured skew grow linearly in D_f,
+//          the [4]-style path-length dependence.
+
+#include "bench_common.hpp"
+#include "core/cps.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
+
+namespace crusader {
+namespace {
+
+struct SparseOutcome {
+  relay::RelayRunResult result;
+  core::CpsParams params;
+};
+
+SparseOutcome run_sparse(const relay::Topology& topo, std::uint32_t f,
+                         std::vector<NodeId> faulty, std::size_t rounds) {
+  relay::RelayConfig config;
+  config.topology = topo;
+  config.hop_model.n = topo.n();
+  config.hop_model.f = f;
+  config.hop_model.d = 1.0;
+  config.hop_model.u = 0.02;
+  config.hop_model.u_tilde = 0.02;
+  config.hop_model.vartheta = 1.002;
+  config.faulty = std::move(faulty);
+  config.seed = 7;
+
+  SparseOutcome out;
+  const auto eff = relay::effective_model(config);
+  out.params = core::derive_cps_params(eff);
+  config.initial_offset = out.params.S;
+  config.horizon = out.params.S + (rounds + 2) * out.params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = out.params;
+  relay::RelayWorld world(config, [cps](NodeId) {
+    return std::make_unique<core::CpsNode>(cps);
+  });
+  out.result = world.run();
+  return out;
+}
+
+}  // namespace
+
+int run_bench() {
+  util::Table table("E11: CPS over sparse topologies (d_hop=1, u_hop=0.02)");
+  table.set_header({"topology", "n", "f", "crashed", "D_f", "d_eff", "u_eff",
+                    "S_eff", "skew", "ok", "phys msgs/flood"});
+
+  struct Case {
+    const char* name;
+    relay::Topology topo;
+    std::uint32_t f;
+    std::vector<NodeId> faulty;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"complete", relay::Topology::complete(7), 3, {0, 1}});
+  cases.push_back({"ring", relay::Topology::ring(6), 1, {2}});
+  cases.push_back({"chordal ring", relay::Topology::chordal_ring(10, 3), 2,
+                   {0, 5}});
+  cases.push_back({"ring of cliques", relay::Topology::ring_of_cliques(3, 4, 2),
+                   2, {0, 4}});
+
+  for (auto& c : cases) {
+    const std::size_t rounds = 8;
+    const auto out = run_sparse(c.topo, c.f, c.faulty, rounds);
+    const bool ok = out.result.trace.live(rounds) &&
+                    out.result.trace.max_skew() <= out.params.S + 1e-9;
+    table.add_row(
+        {c.name, std::to_string(c.topo.n()), std::to_string(c.f),
+         std::to_string(c.faulty.size()),
+         std::to_string(out.result.worst_hops),
+         util::Table::num(out.result.effective.d, 2),
+         util::Table::num(out.result.effective.u, 3),
+         util::Table::num(out.params.S, 4),
+         util::Table::num(out.result.trace.max_skew(), 4),
+         util::Table::boolean(ok),
+         util::Table::num(static_cast<double>(out.result.physical_messages) /
+                              static_cast<double>(out.result.floods),
+                          1)});
+  }
+  bench::print(table);
+
+  util::Table sweep("E11b: skew budget vs relay distance (rings, f = 1)");
+  sweep.set_header({"ring n", "D_1", "S_eff", "measured skew"});
+  for (std::uint32_t n : {4u, 6u, 8u, 10u}) {
+    const auto out = run_sparse(relay::Topology::ring(n), 1, {}, 6);
+    sweep.add_row({std::to_string(n), std::to_string(out.result.worst_hops),
+                   util::Table::num(out.params.S, 4),
+                   util::Table::num(out.result.trace.max_skew(), 4)});
+  }
+  bench::print(sweep);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

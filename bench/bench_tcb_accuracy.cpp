@@ -1,0 +1,171 @@
+// E2 — Figure 2 / Lemmas 10–13: Timed Crusader Broadcast accuracy.
+//
+// Table 1 (Lemma 12, validity): for honest dealers, the estimate error
+//   Δ_{v,y} − (p_y − p_v) lies in [0, δ), across delay policies and clocks.
+// Table 2 (Lemma 13, consistency): for a Byzantine dealer (split-timing),
+//   any two honest non-⊥ estimates of the same dealer satisfy
+//   |Δ_{v,x} − Δ_{w,x} − (p_w − p_v)| < δ.
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace crusader {
+namespace {
+
+struct EstimateRun {
+  std::vector<core::CpsNode*> nodes;
+  sim::RunResult result;
+  core::CpsParams params;
+};
+
+EstimateRun run_with_estimates(const sim::ModelParams& model,
+                               std::uint32_t f_actual,
+                               core::ByzStrategy strategy,
+                               sim::ClockKind clocks, sim::DelayKind delays,
+                               std::uint64_t seed, std::size_t rounds,
+                               double split_shift,
+                               std::unique_ptr<sim::World>& world_out) {
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  EstimateRun out;
+  out.params = setup.cps;
+  out.nodes.resize(model.n, nullptr);
+
+  core::CpsConfig config;
+  config.params = setup.cps;
+  config.record_estimates = true;
+  sim::HonestFactory honest = [&out, config](NodeId v) {
+    auto node = std::make_unique<core::CpsNode>(config);
+    out.nodes[v] = node.get();
+    return node;
+  };
+
+  auto wc = bench::world_config(model, setup, rounds, seed);
+  wc.clock_kind = clocks;
+  wc.delay_kind = delays;
+  wc.faulty = sim::default_faulty_set(f_actual);
+  sim::ByzantineFactory byz;
+  if (f_actual > 0)
+    byz = core::make_byzantine_factory(strategy, honest, seed, 0.0, split_shift);
+  world_out = std::make_unique<sim::World>(wc, honest, byz);
+  out.result = world_out->run();
+  return out;
+}
+
+const char* delay_name(sim::DelayKind kind) {
+  switch (kind) {
+    case sim::DelayKind::kMax: return "max";
+    case sim::DelayKind::kMin: return "min";
+    case sim::DelayKind::kRandom: return "random";
+    case sim::DelayKind::kSplit: return "split";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int run_bench() {
+  const std::uint32_t n = 5;
+  const std::uint32_t f = 2;
+
+  // ---- Table 1: validity (honest dealers) -----------------------------------
+  util::Table t1("E2a: TCB estimate error for honest dealers (Lemma 12)");
+  t1.set_header({"delays", "clocks", "samples", "min err", "max err",
+                 "delta bound", "in [0,delta)"});
+
+  for (auto delays : {sim::DelayKind::kMax, sim::DelayKind::kMin,
+                      sim::DelayKind::kRandom, sim::DelayKind::kSplit}) {
+    for (auto clocks : {sim::ClockKind::kSpread, sim::ClockKind::kRandomWalk}) {
+      const auto model = bench::bench_model(n, f);
+      std::unique_ptr<sim::World> world;
+      const auto run =
+          run_with_estimates(model, 0, core::ByzStrategy::kCrash, clocks,
+                             delays, 5, 20, 0.0, world);
+
+      double lo = 1e300, hi = -1e300;
+      std::size_t samples = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        const auto* node = run.nodes[v];
+        if (node == nullptr) continue;
+        for (const auto& rec : node->estimates()) {
+          if (rec.bot) continue;
+          const std::size_t r = rec.round - 1;
+          if (r >= run.result.trace.complete_rounds()) continue;
+          const double truth = run.result.trace.pulse_time(rec.dealer, r) -
+                               run.result.trace.pulse_time(v, r);
+          const double err = rec.delta - truth;
+          lo = std::min(lo, err);
+          hi = std::max(hi, err);
+          ++samples;
+        }
+      }
+      const bool ok = lo >= -1e-6 && hi < run.params.delta;
+      t1.add_row({delay_name(delays),
+                  clocks == sim::ClockKind::kSpread ? "spread" : "walk",
+                  std::to_string(samples), util::Table::num(lo, 5),
+                  util::Table::num(hi, 5),
+                  util::Table::num(run.params.delta, 5),
+                  util::Table::boolean(ok)});
+    }
+  }
+  bench::print(t1);
+
+  // ---- Table 2: consistency (Byzantine split-timing dealer) -----------------
+  util::Table t2(
+      "E2b: cross-node estimate consistency for Byzantine dealers (Lemma 13)");
+  t2.set_header({"split shift", "pairs", "bots", "max inconsistency",
+                 "delta bound", "holds"});
+
+  for (double shift : {0.0, 0.05, 0.1, 0.2}) {
+    const auto model = bench::bench_model(n, f);
+    std::unique_ptr<sim::World> world;
+    const auto run = run_with_estimates(model, f, core::ByzStrategy::kSplit,
+                                        sim::ClockKind::kSpread,
+                                        sim::DelayKind::kRandom, 9, 20, shift,
+                                        world);
+
+    // Collect per (round, dealer) the estimates of each honest node.
+    std::map<std::pair<Round, NodeId>, std::map<NodeId, double>> grid;
+    std::size_t bots = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto* node = run.nodes[v];
+      if (node == nullptr) continue;
+      for (const auto& rec : node->estimates()) {
+        if (rec.dealer >= f) continue;  // only Byzantine dealers here
+        if (rec.bot) {
+          ++bots;
+          continue;
+        }
+        grid[{rec.round, rec.dealer}][v] = rec.delta;
+      }
+    }
+
+    double worst = 0.0;
+    std::size_t pairs = 0;
+    for (const auto& [key, per_node] : grid) {
+      const std::size_t r = key.first - 1;
+      if (r >= run.result.trace.complete_rounds()) continue;
+      for (auto it_v = per_node.begin(); it_v != per_node.end(); ++it_v) {
+        for (auto it_w = std::next(it_v); it_w != per_node.end(); ++it_w) {
+          const double p_v = run.result.trace.pulse_time(it_v->first, r);
+          const double p_w = run.result.trace.pulse_time(it_w->first, r);
+          const double inconsistency =
+              std::abs(it_v->second - it_w->second - (p_w - p_v));
+          worst = std::max(worst, inconsistency);
+          ++pairs;
+        }
+      }
+    }
+    t2.add_row({util::Table::num(shift, 2), std::to_string(pairs),
+                std::to_string(bots), util::Table::num(worst, 5),
+                util::Table::num(run.params.delta, 5),
+                util::Table::boolean(worst < run.params.delta)});
+  }
+  bench::print(t2);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -1,0 +1,129 @@
+// Attack demo: why signatures matter.
+//
+// Runs the two-faced split-timing attack (a Byzantine node reports different
+// pulse timings to different halves of the cluster) against
+//   1. Lynch–Welch at f = ⌈n/3⌉ — beyond its resilience: skew degrades and
+//      scales with the attack,
+//   2. CPS at the same fault count — the crusader echo turns the equivocation
+//      into ⊥ and the skew stays flat,
+// and the certificate-acceleration attack against Srikanth–Toueg, showing
+// its Θ(d) skew — the gap CPS closes.
+
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/factories.hpp"
+#include "baselines/lynch_welch.hpp"
+#include "core/adversaries.hpp"
+#include "sim/world.hpp"
+#include "util/table.hpp"
+
+using namespace crusader;
+
+namespace {
+
+sim::ModelParams demo_model() {
+  sim::ModelParams model;
+  model.n = 6;
+  model.f = sim::ModelParams::max_faults_signed(6);  // allow 2 faulty
+  model.d = 1.0;
+  model.u = 0.05;
+  model.u_tilde = 0.05;
+  model.vartheta = 1.01;
+  return model;
+}
+
+double lynch_welch_attacked(double split_shift) {
+  const auto model = demo_model();
+  const auto setup =
+      baselines::make_setup(baselines::ProtocolKind::kLynchWelch, model);
+  baselines::LwConfig config;
+  config.params = setup.lw;
+  config.f = sim::ModelParams::max_faults_plain(model.n);  // protocol f = 1
+  sim::HonestFactory honest = [config](NodeId) {
+    return std::make_unique<baselines::LynchWelchNode>(config);
+  };
+  auto byzantine = core::make_byzantine_factory(core::ByzStrategy::kSplit,
+                                                honest, 7, 0.0, split_shift);
+  sim::WorldConfig wc;
+  wc.model = model;
+  wc.seed = 7;
+  wc.initial_offset = setup.initial_offset;
+  wc.horizon = 40.0 * setup.round_length;
+  wc.clock_kind = sim::ClockKind::kSpread;
+  wc.delay_kind = sim::DelayKind::kSplit;
+  wc.faulty = {0, 1};  // 2 = ⌈n/3⌉ faults: beyond LW's guarantee
+  sim::World world(wc, honest, byzantine);
+  return world.run().trace.max_skew(15);
+}
+
+double cps_attacked(double split_shift) {
+  const auto model = demo_model();
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  auto honest = baselines::make_protocol_factory(setup);
+  auto byzantine = core::make_byzantine_factory(core::ByzStrategy::kSplit,
+                                                honest, 7, 0.0, split_shift);
+  sim::WorldConfig wc;
+  wc.model = model;
+  wc.seed = 7;
+  wc.initial_offset = setup.initial_offset;
+  wc.horizon = 40.0 * setup.round_length;
+  wc.clock_kind = sim::ClockKind::kSpread;
+  wc.delay_kind = sim::DelayKind::kSplit;
+  wc.faulty = {0, 1};
+  sim::World world(wc, honest, byzantine);
+  return world.run().trace.max_skew(15);
+}
+
+double srikanth_toueg_attacked() {
+  const auto model = demo_model();
+  const auto setup =
+      baselines::make_setup(baselines::ProtocolKind::kSrikanthToueg, model);
+  auto honest = baselines::make_protocol_factory(setup);
+  auto byzantine = core::make_st_accelerator_factory(model.n - 1);
+  sim::WorldConfig wc;
+  wc.model = model;
+  wc.seed = 7;
+  wc.initial_offset = setup.initial_offset;
+  wc.horizon = 25.0 * setup.round_length;
+  wc.clock_kind = sim::ClockKind::kSpread;
+  wc.delay_kind = sim::DelayKind::kRandom;
+  wc.faulty = {0, 1};
+  sim::World world(wc, honest, byzantine);
+  return world.run().trace.max_skew(5);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Two-faced timing attack, n = 6, f_actual = 2 = ceil(n/3)\n"
+            << "(steady-state skew, rounds 15+)\n\n";
+
+  util::Table table("Lynch-Welch (no signatures) vs CPS (signatures)");
+  table.set_header(
+      {"attack magnitude", "LW skew (f beyond n/3)", "CPS skew", "LW/CPS"});
+  for (double shift : {0.0, 0.05, 0.1, 0.15, 0.2}) {
+    const double lw = lynch_welch_attacked(shift);
+    const double cps = cps_attacked(shift);
+    table.add_row({util::Table::num(shift, 2), util::Table::num(lw, 4),
+                   util::Table::num(cps, 4),
+                   util::Table::num(lw / std::max(cps, 1e-9), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe LW skew grows with the attack (no way to detect the\n"
+               "equivocated timing); CPS stays flat: the forwarded signature\n"
+               "(Figure 2's echo) exposes the lie and turns it into bot.\n\n";
+
+  const double st = srikanth_toueg_attacked();
+  util::Table st_table("Srikanth-Toueg under certificate acceleration");
+  st_table.set_header({"protocol", "skew", "scale"});
+  st_table.add_row({"Srikanth-Toueg", util::Table::num(st, 4),
+                    "Theta(d), d = 1.0"});
+  st_table.add_row({"CPS (same faults)", util::Table::num(cps_attacked(0.1), 4),
+                    "Theta(u + (vt-1)d) = Theta(0.06)"});
+  st_table.print(std::cout);
+  std::cout << "\nST tolerates f < n/2 but pays skew ~ d; CPS gets the same\n"
+               "resilience at skew ~ u + (vartheta-1)d (the paper's result).\n";
+  return 0;
+}

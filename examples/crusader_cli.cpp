@@ -1,0 +1,306 @@
+// crusader_cli — command-line driver for one-off experiments.
+//
+//   crusader_cli [--protocol cps|lw|st] [--n N] [--faulty F] [--u U] [--d D]
+//                [--theta T] [--strategy crash|echo-rush|split|pull-early|
+//                 pull-late|replay|random] [--rounds R] [--seed S]
+//                [--clocks nominal|spread|walk] [--delays max|min|random|split]
+//                [--topology complete|ring|chordal|cliques]
+//                [--lower-bound] [--u-tilde U] [--csv]
+//
+// Examples:
+//   crusader_cli --n 9 --faulty 4 --strategy split
+//   crusader_cli --protocol st --n 7 --faulty 3
+//   crusader_cli --lower-bound --u-tilde 0.3
+//   crusader_cli --topology cliques --n 12 --faulty 2
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/factories.hpp"
+#include "sim/trace_io.hpp"
+#include "core/adversaries.hpp"
+#include "core/cps.hpp"
+#include "lowerbound/theorem5.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
+#include "util/table.hpp"
+
+using namespace crusader;
+
+namespace {
+
+struct Options {
+  baselines::ProtocolKind protocol = baselines::ProtocolKind::kCps;
+  std::uint32_t n = 7;
+  std::uint32_t faulty = 0xffffffffu;  // default: max for the protocol
+  double u = 0.05;
+  double d = 1.0;
+  double theta = 1.01;
+  double u_tilde = -1.0;  // default: = u
+  core::ByzStrategy strategy = core::ByzStrategy::kSplit;
+  std::size_t rounds = 25;
+  std::uint64_t seed = 1;
+  sim::ClockKind clocks = sim::ClockKind::kSpread;
+  sim::DelayKind delays = sim::DelayKind::kRandom;
+  std::string topology = "complete";
+  bool lower_bound = false;
+  bool csv = false;
+  std::string pulses_csv;  // --pulses-csv FILE: raw pulse trace export
+  std::string rounds_csv;  // --rounds-csv FILE: per-round skew export
+};
+
+void export_traces(const Options& opt, const sim::PulseTrace& trace) {
+  if (!opt.pulses_csv.empty()) {
+    std::ofstream out(opt.pulses_csv);
+    sim::write_pulses_csv(trace, out);
+    std::cerr << "wrote " << opt.pulses_csv << "\n";
+  }
+  if (!opt.rounds_csv.empty()) {
+    std::ofstream out(opt.rounds_csv);
+    sim::write_rounds_csv(trace, out);
+    std::cerr << "wrote " << opt.rounds_csv << "\n";
+  }
+}
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::cerr << "error: " << error << "\n";
+  std::cerr <<
+      "usage: crusader_cli [--protocol cps|lw|st] [--n N] [--faulty F]\n"
+      "  [--u U] [--d D] [--theta T] [--u-tilde U] [--rounds R] [--seed S]\n"
+      "  [--strategy crash|echo-rush|split|pull-early|pull-late|replay|random]\n"
+      "  [--clocks nominal|spread|walk] [--delays max|min|random|split]\n"
+      "  [--topology complete|ring|chordal|cliques] [--lower-bound] [--csv]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing argument value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--protocol") {
+      const std::string v = need(i);
+      if (v == "cps") opt.protocol = baselines::ProtocolKind::kCps;
+      else if (v == "lw") opt.protocol = baselines::ProtocolKind::kLynchWelch;
+      else if (v == "st") opt.protocol = baselines::ProtocolKind::kSrikanthToueg;
+      else usage("unknown protocol");
+    } else if (arg == "--n") {
+      opt.n = static_cast<std::uint32_t>(std::stoul(need(i)));
+    } else if (arg == "--faulty") {
+      opt.faulty = static_cast<std::uint32_t>(std::stoul(need(i)));
+    } else if (arg == "--u") {
+      opt.u = std::stod(need(i));
+    } else if (arg == "--d") {
+      opt.d = std::stod(need(i));
+    } else if (arg == "--theta") {
+      opt.theta = std::stod(need(i));
+    } else if (arg == "--u-tilde") {
+      opt.u_tilde = std::stod(need(i));
+    } else if (arg == "--rounds") {
+      opt.rounds = std::stoul(need(i));
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need(i));
+    } else if (arg == "--strategy") {
+      const std::map<std::string, core::ByzStrategy> names = {
+          {"crash", core::ByzStrategy::kCrash},
+          {"echo-rush", core::ByzStrategy::kEchoRush},
+          {"split", core::ByzStrategy::kSplit},
+          {"pull-early", core::ByzStrategy::kPullEarly},
+          {"pull-late", core::ByzStrategy::kPullLate},
+          {"replay", core::ByzStrategy::kReplay},
+          {"random", core::ByzStrategy::kRandom}};
+      const auto it = names.find(need(i));
+      if (it == names.end()) usage("unknown strategy");
+      opt.strategy = it->second;
+    } else if (arg == "--clocks") {
+      const std::string v = need(i);
+      if (v == "nominal") opt.clocks = sim::ClockKind::kNominal;
+      else if (v == "spread") opt.clocks = sim::ClockKind::kSpread;
+      else if (v == "walk") opt.clocks = sim::ClockKind::kRandomWalk;
+      else usage("unknown clock kind");
+    } else if (arg == "--delays") {
+      const std::string v = need(i);
+      if (v == "max") opt.delays = sim::DelayKind::kMax;
+      else if (v == "min") opt.delays = sim::DelayKind::kMin;
+      else if (v == "random") opt.delays = sim::DelayKind::kRandom;
+      else if (v == "split") opt.delays = sim::DelayKind::kSplit;
+      else usage("unknown delay kind");
+    } else if (arg == "--topology") {
+      opt.topology = need(i);
+    } else if (arg == "--lower-bound") {
+      opt.lower_bound = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--pulses-csv") {
+      opt.pulses_csv = need(i);
+    } else if (arg == "--rounds-csv") {
+      opt.rounds_csv = need(i);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(nullptr);
+    } else {
+      usage("unknown flag");
+    }
+  }
+  return opt;
+}
+
+void emit(const util::Table& table, bool csv) {
+  if (csv)
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+}
+
+int run_lower_bound(const Options& opt) {
+  sim::ModelParams model;
+  model.n = 3;
+  model.f = 1;
+  model.d = opt.d;
+  model.u = opt.u;
+  model.u_tilde = opt.u_tilde > 0 ? opt.u_tilde : opt.u;
+  model.vartheta = opt.theta > 1.0 ? opt.theta : 1.05;
+
+  const auto report =
+      lowerbound::run_theorem5(opt.protocol, model, opt.rounds);
+  util::Table table("Theorem 5 lower bound");
+  table.set_header({"metric", "value"});
+  table.add_row({"protocol", baselines::to_string(opt.protocol)});
+  table.add_row({"u_tilde", util::Table::num(model.u_tilde, 4)});
+  table.add_row({"bound 2*u_tilde/3", util::Table::num(report.bound, 4)});
+  table.add_row({"realized skew", util::Table::num(report.max_skew, 4)});
+  table.add_row({"telescoped sum", util::Table::num(report.telescoped_sum, 4)});
+  table.add_row({"rounds measured", std::to_string(report.rounds)});
+  table.add_row({"bound holds", util::Table::boolean(report.bound_holds)});
+  emit(table, opt.csv);
+  return report.bound_holds ? 0 : 1;
+}
+
+int run_sparse(const Options& opt, const sim::ModelParams& hop_model,
+               std::uint32_t f_actual) {
+  relay::RelayConfig config;
+  if (opt.topology == "ring") {
+    config.topology = relay::Topology::ring(opt.n);
+  } else if (opt.topology == "chordal") {
+    config.topology = relay::Topology::chordal_ring(opt.n, 3);
+  } else if (opt.topology == "cliques") {
+    if (opt.n % 4 != 0 || opt.n < 8) usage("cliques needs n divisible by 4, >= 8");
+    config.topology = relay::Topology::ring_of_cliques(opt.n / 4, 4, 2);
+  } else {
+    usage("unknown topology");
+  }
+  config.hop_model = hop_model;
+  // The fault budget a sparse topology can carry is set by its connectivity,
+  // not by ⌈n/2⌉−1; tolerate exactly the requested faults.
+  config.hop_model.f = std::max(f_actual, 1u);
+  config.seed = opt.seed;
+  config.faulty = sim::default_faulty_set(f_actual);
+
+  const auto eff = relay::effective_model(config);
+  const auto params = core::derive_cps_params(eff);
+  if (!params.feasible) {
+    std::cerr << "infeasible effective parameters\n";
+    return 1;
+  }
+  config.initial_offset = params.S;
+  config.horizon = params.S + (opt.rounds + 2) * params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = params;
+  relay::RelayWorld world(config, [cps](NodeId) {
+    return std::make_unique<core::CpsNode>(cps);
+  });
+  const auto result = world.run();
+
+  util::Table table("CPS over sparse topology '" + opt.topology + "'");
+  table.set_header({"metric", "value", "bound"});
+  table.add_row({"worst hops D_f", std::to_string(result.worst_hops), "-"});
+  table.add_row({"d_eff / u_eff",
+                 util::Table::num(eff.d, 3) + " / " + util::Table::num(eff.u, 3),
+                 "-"});
+  table.add_row({"rounds", std::to_string(result.trace.complete_rounds()), "-"});
+  table.add_row({"worst skew", util::Table::num(result.trace.max_skew(), 4),
+                 util::Table::num(params.S, 4)});
+  table.add_row({"physical messages", std::to_string(result.physical_messages),
+                 "-"});
+  emit(table, opt.csv);
+  export_traces(opt, result.trace);
+  return result.trace.max_skew() <= params.S + 1e-9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  if (opt.lower_bound) return run_lower_bound(opt);
+
+  sim::ModelParams model;
+  model.n = opt.n;
+  model.f = opt.protocol == baselines::ProtocolKind::kLynchWelch
+                ? sim::ModelParams::max_faults_plain(opt.n)
+                : sim::ModelParams::max_faults_signed(opt.n);
+  model.d = opt.d;
+  model.u = opt.u;
+  model.u_tilde = opt.u_tilde > 0 ? opt.u_tilde : opt.u;
+  model.vartheta = opt.theta;
+  const std::uint32_t f_actual =
+      opt.faulty == 0xffffffffu ? model.f : opt.faulty;
+  if (f_actual > model.f) usage("--faulty exceeds the protocol's resilience");
+
+  if (opt.topology != "complete") return run_sparse(opt, model, f_actual);
+
+  const auto setup = baselines::make_setup(opt.protocol, model);
+  if (!setup.feasible) {
+    std::cerr << "infeasible parameters (vartheta too large?)\n";
+    return 1;
+  }
+
+  auto honest = baselines::make_protocol_factory(setup);
+  sim::ByzantineFactory byz;
+  if (f_actual > 0)
+    byz = core::make_byzantine_factory(opt.strategy, honest, opt.seed, 0.1,
+                                       0.1);
+
+  sim::WorldConfig config;
+  config.model = model;
+  config.seed = opt.seed;
+  config.initial_offset = setup.initial_offset;
+  config.horizon = setup.initial_offset +
+                   static_cast<double>(opt.rounds + 2) * setup.round_length;
+  config.clock_kind = opt.clocks;
+  config.delay_kind = opt.delays;
+  config.faulty = sim::default_faulty_set(f_actual);
+
+  sim::World world(config, honest, byz);
+  const auto result = world.run();
+
+  util::Table table(std::string(baselines::to_string(opt.protocol)) +
+                    ", n=" + std::to_string(opt.n) +
+                    ", f_actual=" + std::to_string(f_actual) + " (" +
+                    core::to_string(opt.strategy) + ")");
+  table.set_header({"metric", "value", "bound"});
+  table.add_row({"rounds", std::to_string(result.trace.complete_rounds()), "-"});
+  table.add_row({"worst skew", util::Table::num(result.trace.max_skew(), 4),
+                 util::Table::num(setup.predicted_skew, 4)});
+  table.add_row({"steady skew",
+                 result.trace.complete_rounds() > opt.rounds / 3
+                     ? util::Table::num(result.trace.max_skew(opt.rounds / 3), 4)
+                     : "-",
+                 "-"});
+  table.add_row({"min period", util::Table::num(result.trace.min_period(), 4),
+                 "-"});
+  table.add_row({"max period", util::Table::num(result.trace.max_period(), 4),
+                 "-"});
+  table.add_row({"messages", std::to_string(result.messages), "-"});
+  table.add_row({"violations", std::to_string(result.violations.size()), "0"});
+  emit(table, opt.csv);
+  export_traces(opt, result.trace);
+
+  return result.trace.live(opt.rounds) ? 0 : 1;
+}

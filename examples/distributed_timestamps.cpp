@@ -1,0 +1,88 @@
+// Distributed timestamping with logical clocks (paper introduction: clocks
+// "coordinate actions in terms of real time").
+//
+// Nodes derive logical clocks from their CPS pulses by interpolation. Events
+// occurring at different nodes are stamped with logical readings; because
+// the logical skew is bounded, stamps order events correctly whenever they
+// are separated by more than the skew bound — a happens-before guarantee
+// with a quantified real-time resolution.
+
+#include <iostream>
+
+#include "baselines/factories.hpp"
+#include "core/adversaries.hpp"
+#include "core/logical_clock.hpp"
+#include "sim/world.hpp"
+#include "util/table.hpp"
+
+using namespace crusader;
+
+int main() {
+  sim::ModelParams model;
+  model.n = 5;
+  model.f = 2;
+  model.d = 1.0;
+  model.u = 0.02;
+  model.u_tilde = 0.02;
+  model.vartheta = 1.005;
+
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
+  auto honest = baselines::make_protocol_factory(setup);
+  auto byzantine =
+      core::make_byzantine_factory(core::ByzStrategy::kPullEarly, honest, 3);
+
+  sim::WorldConfig config;
+  config.model = model;
+  config.seed = 3;
+  config.initial_offset = setup.cps.S;
+  config.horizon = 40.0 * setup.cps.p_max;
+  config.clock_kind = sim::ClockKind::kRandomWalk;
+  config.delay_kind = sim::DelayKind::kRandom;
+  config.faulty = {0, 1};
+
+  sim::World world(config, honest, byzantine);
+  const auto result = world.run();
+
+  // Logical clocks: one tick = 1000 logical units per pulse interval.
+  const double tick = 1000.0;
+  core::LogicalClockView clock2(result.trace, 2, tick);
+  core::LogicalClockView clock3(result.trace, 3, tick);
+  core::LogicalClockView clock4(result.trace, 4, tick);
+
+  // Stamp a burst of events spread across nodes and real time.
+  util::Table table("events stamped with per-node logical clocks");
+  table.set_header({"real time", "L_2(t)", "L_3(t)", "L_4(t)", "max diff"});
+  const double begin = std::max({clock2.domain_begin(), clock3.domain_begin(),
+                                 clock4.domain_begin()});
+  const double end = std::min({clock2.domain_end(), clock3.domain_end(),
+                               clock4.domain_end()});
+  for (int i = 0; i <= 6; ++i) {
+    const double t = begin + (end - begin) * i / 6.0;
+    const double a = clock2.at(t);
+    const double b = clock3.at(t);
+    const double c = clock4.at(t);
+    const double diff =
+        std::max({a, b, c}) - std::min({a, b, c});
+    table.add_row({util::Table::num(t, 2), util::Table::num(a, 1),
+                   util::Table::num(b, 1), util::Table::num(c, 1),
+                   util::Table::num(diff, 1)});
+  }
+  table.print(std::cout);
+
+  const double measured = core::max_logical_skew(result.trace, tick, 400);
+  const double bound = tick * (setup.cps.S / setup.cps.p_min +
+                               (setup.cps.p_max - setup.cps.p_min) /
+                                   setup.cps.p_min);
+  // Resolution in real time: two events further apart than this many time
+  // units are always ordered correctly by their logical stamps.
+  const double resolution = measured / (tick / setup.cps.p_min);
+
+  std::cout << "\nmax logical skew: " << measured << " (bound " << bound
+            << ")\n";
+  std::cout << "ordering resolution: events > " << resolution
+            << " time units apart are correctly ordered (d = " << model.d
+            << ")\n";
+  const bool ok = measured <= bound + 1e-6;
+  std::cout << (ok ? "OK" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Sparse-network example (paper Appendix A): synchronize 12 nodes arranged
+// as a ring of three 4-cliques — a realistic "three data centers, redundant
+// interconnects" layout — with two crashed nodes, over signed relay paths.
+
+#include <iostream>
+
+#include "core/cps.hpp"
+#include "core/params.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
+#include "util/table.hpp"
+
+using namespace crusader;
+
+int main() {
+  // Three "data centers" of 4 nodes each; consecutive centers joined by two
+  // node-disjoint links. This survives any 2 crashed nodes.
+  const auto topo = relay::Topology::ring_of_cliques(3, 4, 2);
+
+  relay::RelayConfig config;
+  config.topology = topo;
+  config.hop_model.n = topo.n();
+  config.hop_model.f = 2;
+  config.hop_model.d = 1.0;    // per-hop delay bound (e.g. 1 ms)
+  config.hop_model.u = 0.02;   // per-hop uncertainty (20 µs)
+  config.hop_model.u_tilde = 0.02;
+  config.hop_model.vartheta = 1.002;
+  config.faulty = {0, 4};      // one node down in each of two centers
+  config.seed = 2026;
+
+  std::cout << "topology: 3 cliques x 4 nodes, 2 bridges each, "
+            << topo.edge_count() << " edges\n";
+  std::cout << "(f+1)-connected for f=2: "
+            << (topo.survives_faults(2) ? "yes" : "no") << "\n";
+
+  const auto effective = relay::effective_model(config);
+  const auto params = core::derive_cps_params(effective);
+  if (!params.feasible) {
+    std::cerr << "infeasible effective parameters\n";
+    return 1;
+  }
+  std::cout << "worst-case relay distance D_f = "
+            << topo.worst_case_distance(2) << " hops\n"
+            << "effective model: d_eff = " << effective.d
+            << ", u_eff = " << effective.u << "\n"
+            << "CPS constants:   S = " << params.S << ", T = " << params.T
+            << "\n\n";
+
+  config.initial_offset = params.S;
+  config.horizon = params.S + 14.0 * params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = params;
+  relay::RelayWorld world(config, [cps](NodeId) {
+    return std::make_unique<core::CpsNode>(cps);
+  });
+  const auto result = world.run();
+
+  util::Table table("CPS over the sparse overlay (2 crashed nodes)");
+  table.set_header({"metric", "value", "bound"});
+  table.add_row({"rounds", std::to_string(result.trace.complete_rounds()),
+                 "-"});
+  table.add_row({"worst skew", util::Table::num(result.trace.max_skew(), 4),
+                 util::Table::num(params.S, 4)});
+  table.add_row({"steady skew (r>=4)",
+                 util::Table::num(result.trace.max_skew(4), 4), "-"});
+  table.add_row({"min period", util::Table::num(result.trace.min_period(), 3),
+                 ">= " + util::Table::num(params.p_min, 3)});
+  table.add_row({"physical msgs", std::to_string(result.physical_messages),
+                 "-"});
+  table.add_row({"floods", std::to_string(result.floods), "-"});
+  table.print(std::cout);
+
+  const bool ok = result.trace.live(10) &&
+                  result.trace.max_skew() <= params.S + 1e-9;
+  std::cout << "\n" << (ok ? "OK: sparse translation held Theorem 17." : "FAIL")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#pragma once
+// Shared protocol factories: build honest-node factories for any of the three
+// pulse-synchronization protocols from model parameters. Used by tests,
+// benches, and the lower-bound runner.
+
+#include <string>
+
+#include "core/params.hpp"
+#include "sim/world.hpp"
+
+namespace crusader::baselines {
+
+enum class ProtocolKind { kCps, kLynchWelch, kSrikanthToueg };
+
+[[nodiscard]] const char* to_string(ProtocolKind kind);
+
+/// Derived parameter bundle for whichever protocol is selected.
+struct ProtocolSetup {
+  ProtocolKind kind = ProtocolKind::kCps;
+  core::CpsParams cps;  // valid when kind == kCps
+  core::LwParams lw;    // valid when kind == kLynchWelch
+  core::StParams st;    // valid when kind == kSrikanthToueg
+  /// Skew the theory predicts for this protocol (S, S_lw, or d).
+  double predicted_skew = 0.0;
+  /// Bound on initial hardware-clock offsets the protocol assumes.
+  double initial_offset = 0.0;
+  /// Real-time length of one pulse round (for horizon sizing).
+  double round_length = 0.0;
+  bool feasible = false;
+};
+
+[[nodiscard]] ProtocolSetup make_setup(ProtocolKind kind,
+                                       const sim::ModelParams& model,
+                                       double slack = 1.0);
+
+/// Honest factory for the protocol; `max_rounds` caps pulses (0 = horizon).
+[[nodiscard]] sim::HonestFactory make_protocol_factory(
+    const ProtocolSetup& setup, Round max_rounds = 0);
+
+}  // namespace crusader::baselines

@@ -1,0 +1,74 @@
+#pragma once
+// Lynch–Welch fault-tolerant clock synchronization [25] — the classic
+// signature-free baseline the paper builds on ("the algorithm can be viewed
+// as simulating iterations of synchronous approximate agreement", Section 3).
+//
+// Structure is identical to CPS minus the crusader machinery: each node
+// broadcasts a plain (unsigned) pulse message at local time L + ϑS, accepts
+// the first message per sender inside the window (L, L + W), computes
+// Δ_{v,y} = h − L − d + u − S, discards the f lowest and f highest of the n
+// estimates (self contributes 0), and pulses again at L + midpoint + T.
+//
+// Resilience: f < n/3 (the fault-tolerant-midpoint argument requires
+// n > 3f). Skew: Θ(u + (ϑ−1)d) — same order as CPS, strictly worse
+// resilience. Against Byzantine timing attacks at f ≥ n/3 the averaging step
+// can be steered and skew degrades — exactly the E7 crossover experiment.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/node.hpp"
+
+namespace crusader::baselines {
+
+struct LwConfig {
+  core::LwParams params;
+  /// Discard count f; defaults to ⌈n/3⌉ − 1 when 0xffffffff.
+  std::uint32_t f = 0xffffffffu;
+  Round max_rounds = 0;
+};
+
+struct LwNodeStats {
+  Round rounds_completed = 0;
+  std::uint64_t missing_estimates = 0;
+  std::uint64_t stale_messages = 0;
+  std::uint64_t negative_waits = 0;
+};
+
+class LynchWelchNode final : public sim::PulseNode {
+ public:
+  explicit LynchWelchNode(const LwConfig& config);
+
+  void on_start(sim::Env& env) override;
+  void on_message(sim::Env& env, const sim::Message& m) override;
+  void on_timer(sim::Env& env, std::uint64_t tag) override;
+
+  [[nodiscard]] const LwNodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  enum TagKind : std::uint64_t {
+    kTagPulse = 1,
+    kTagSend = 2,
+    kTagWindowClose = 3,
+  };
+  [[nodiscard]] static std::uint64_t encode_tag(TagKind kind,
+                                                Round round) noexcept {
+    return static_cast<std::uint64_t>(kind) | (round << 3);
+  }
+
+  void do_pulse(sim::Env& env);
+  void finish_round(sim::Env& env);
+
+  LwConfig config_;
+  std::uint32_t f_ = 0;
+  Round round_ = 0;
+  double pulse_local_ = 0.0;
+  bool collecting_ = false;
+  /// Per sender: accept time h of the first round-r message, if any.
+  std::vector<std::optional<double>> accepts_;
+  LwNodeStats stats_;
+};
+
+}  // namespace crusader::baselines

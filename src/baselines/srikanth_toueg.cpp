@@ -1,0 +1,82 @@
+#include "baselines/srikanth_toueg.hpp"
+
+#include "util/check.hpp"
+
+namespace crusader::baselines {
+
+SrikanthTouegNode::SrikanthTouegNode(const StConfig& config)
+    : config_(config) {
+  CS_CHECK(config_.params.T > 0.0);
+}
+
+void SrikanthTouegNode::on_start(sim::Env& env) {
+  const auto& model = env.model();
+  f_ = config_.f == 0xffffffffu ? sim::ModelParams::max_faults_signed(model.n)
+                                : config_.f;
+  env.schedule_at_local(config_.params.first_at, encode_tag(kTagReady, 1));
+}
+
+void SrikanthTouegNode::on_timer(sim::Env& env, std::uint64_t tag) {
+  const auto kind = static_cast<TagKind>(tag & 0x7u);
+  const Round tag_round = tag >> 3;
+  if (kind != kTagReady) return;
+  if (tag_round != next_pulse_ || ready_sent_) return;
+
+  ready_sent_ = true;
+  sim::Message m;
+  m.kind = sim::MsgKind::kStReady;
+  m.round = next_pulse_;
+  m.dealer = env.id();
+  m.sig = env.sign(crypto::make_ready_payload(next_pulse_));
+  env.broadcast(m);
+  // Our own signature also counts toward our certificate.
+  absorb(env, next_pulse_, m.sig);
+}
+
+void SrikanthTouegNode::on_message(sim::Env& env, const sim::Message& m) {
+  if (m.kind == sim::MsgKind::kStReady) {
+    absorb(env, m.round, m.sig);
+  } else if (m.kind == sim::MsgKind::kStCert) {
+    for (const auto& sig : m.sigs) absorb(env, m.round, sig);
+  }
+}
+
+void SrikanthTouegNode::absorb(sim::Env& env, Round round,
+                               const crypto::Signature& sig) {
+  if (round < next_pulse_) return;  // stale
+  if (!env.verify(sig, crypto::make_ready_payload(round))) {
+    ++stats_.invalid_signatures;
+    return;
+  }
+  ready_[round][sig.signer] = sig;
+  maybe_pulse(env);
+}
+
+void SrikanthTouegNode::maybe_pulse(sim::Env& env) {
+  // Rounds can only be pulsed in order; a certificate for a later round may
+  // already be buffered, so loop.
+  while (true) {
+    if (config_.max_rounds != 0 && next_pulse_ > config_.max_rounds) return;
+    const auto it = ready_.find(next_pulse_);
+    if (it == ready_.end() || it->second.size() < f_ + 1) return;
+
+    env.pulse();
+    ++stats_.rounds_completed;
+
+    // Relay the certificate so everyone pulses within one message delay.
+    sim::Message cert;
+    cert.kind = sim::MsgKind::kStCert;
+    cert.round = next_pulse_;
+    for (const auto& [signer, sig] : it->second) cert.sigs.push_back(sig);
+    env.broadcast(cert);
+    ++stats_.certificates_relayed;
+
+    ready_.erase(ready_.begin(), ready_.upper_bound(next_pulse_));
+    ++next_pulse_;
+    ready_sent_ = false;
+    env.schedule_at_local(env.local_now() + config_.params.T,
+                          encode_tag(kTagReady, next_pulse_));
+  }
+}
+
+}  // namespace crusader::baselines

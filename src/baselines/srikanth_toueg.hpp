@@ -1,0 +1,68 @@
+#pragma once
+// Authenticated Srikanth–Toueg-style pulse synchronization [28], [21], [2] —
+// the signature-based baseline the paper compares against: optimal
+// resilience f = ⌈n/2⌉ − 1, but skew Θ(d).
+//
+// Per round r:
+//   * when the local ready-timer for round r fires (and the node has not
+//     pulsed r yet), sign and broadcast ⟨ready r⟩_v;
+//   * upon holding f+1 valid ⟨ready r⟩ signatures from distinct signers,
+//     pulse r, relay the certificate to everyone, and schedule the round
+//     r+1 ready-timer T_st local-time units later.
+//
+// The f+1 threshold guarantees at least one honest signer backs every pulse
+// (faulty nodes can accelerate rounds, never fake them); the certificate
+// relay bounds the skew by one message delay: skew ≤ d.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/node.hpp"
+
+namespace crusader::baselines {
+
+struct StConfig {
+  core::StParams params;
+  /// Certificate threshold minus one; defaults to ⌈n/2⌉ − 1 when 0xffffffff.
+  std::uint32_t f = 0xffffffffu;
+  Round max_rounds = 0;
+};
+
+struct StNodeStats {
+  Round rounds_completed = 0;
+  std::uint64_t invalid_signatures = 0;
+  std::uint64_t certificates_relayed = 0;
+};
+
+class SrikanthTouegNode final : public sim::PulseNode {
+ public:
+  explicit SrikanthTouegNode(const StConfig& config);
+
+  void on_start(sim::Env& env) override;
+  void on_message(sim::Env& env, const sim::Message& m) override;
+  void on_timer(sim::Env& env, std::uint64_t tag) override;
+
+  [[nodiscard]] const StNodeStats& stats() const noexcept { return stats_; }
+
+ private:
+  enum TagKind : std::uint64_t { kTagReady = 1 };
+  [[nodiscard]] static std::uint64_t encode_tag(TagKind kind,
+                                                Round round) noexcept {
+    return static_cast<std::uint64_t>(kind) | (round << 3);
+  }
+
+  void absorb(sim::Env& env, Round round, const crypto::Signature& sig);
+  void maybe_pulse(sim::Env& env);
+
+  StConfig config_;
+  std::uint32_t f_ = 0;
+  Round next_pulse_ = 1;  // the round we will pulse next
+  bool ready_sent_ = false;
+  /// Valid ready signatures per round, keyed by signer (dedup).
+  std::map<Round, std::map<NodeId, crypto::Signature>> ready_;
+  StNodeStats stats_;
+};
+
+}  // namespace crusader::baselines

@@ -1,0 +1,158 @@
+#pragma once
+// Byzantine node strategies for the timed (event-driven) protocols.
+//
+// All strategies are model-legal: they sign only with their own keys, replay
+// honest signatures only after receiving them, and request delays within
+// [d − ũ, d] — the network throws ModelViolation otherwise, and tests assert
+// that no strategy trips it (except where a bench intentionally configures
+// ũ > u to demonstrate the Theorem-5 phenomenon).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "core/cps.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+#include "util/rng.hpp"
+
+namespace crusader::core {
+
+/// Silent from the start. Every honest TCB instance with this dealer times
+/// out (⊥); the discard rule absorbs it.
+class CrashByzantine final : public sim::ByzantineNode {
+ public:
+  void on_start(sim::AdversaryEnv&) override {}
+  void on_message(sim::AdversaryEnv&, const sim::Message&) override {}
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+};
+
+/// Re-broadcasts every honest TCB signature it receives, as early as the
+/// model allows (delay d − ũ). With ũ = u this is provably harmless
+/// (Lemma 10's guard absorbs it); with ũ > 2u it can force honest broadcasts
+/// to be rejected — the attack motivating the paper's lower bound.
+class EchoRushByzantine final : public sim::ByzantineNode {
+ public:
+  void on_start(sim::AdversaryEnv&) override {}
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+
+ private:
+  std::unordered_set<std::uint64_t> echoed_;  // signature keys already rushed
+};
+
+/// Deviation applied by DeviantWrapper to the wrapped node's own broadcast.
+struct Deviation {
+  /// Added (local time) before the node's own-dealer broadcast goes out.
+  double send_shift = 0.0;
+  enum class DelayMode {
+    kMinAll,   // earliest legal appearance everywhere (early pull)
+    kMaxAll,   // latest legal appearance everywhere (late pull)
+    kSplit,    // min to ids < n/2, max to the rest (tears estimates apart)
+  };
+  DelayMode mode = DelayMode::kSplit;
+  /// kSplit only: additionally delays the SEND toward the upper half by this
+  /// many local-time units. Without signatures (Lynch–Welch) nothing detects
+  /// this two-faced timing, so estimates tear apart by ≈ split_shift; with
+  /// CPS the echo guard of Figure 2 forces ⊥ instead (Lemma 11) — this is
+  /// the E7 crossover attack.
+  double split_shift = 0.0;
+};
+
+/// Runs any honest PulseNode behind a proxy Env, intercepting only the
+/// node's own-dealer broadcasts (messages with dealer == self) and re-sending
+/// them with the configured deviation. Everything else — timers, receipts,
+/// echoes of other dealers — follows the honest protocol, which makes this
+/// the strongest "stealthy" strategy: it never produces malformed traffic.
+class DeviantWrapper final : public sim::ByzantineNode {
+ public:
+  DeviantWrapper(std::unique_ptr<sim::PulseNode> inner, Deviation deviation);
+  ~DeviantWrapper() override;
+
+  void on_start(sim::AdversaryEnv& env) override;
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv& env, std::uint64_t tag) override;
+
+ private:
+  class Proxy;
+  std::unique_ptr<Proxy> proxy_;
+  std::unique_ptr<sim::PulseNode> inner_;
+};
+
+/// Replays signatures from earlier rounds whenever it observes a new round —
+/// exercising the round-tag filtering that Figure 2's caption calls out.
+class ReplayByzantine final : public sim::ByzantineNode {
+ public:
+  explicit ReplayByzantine(std::uint64_t seed) : rng_(seed) {}
+  void on_start(sim::AdversaryEnv&) override {}
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+
+ private:
+  util::Rng rng_;
+  Round max_round_seen_ = 0;
+  std::vector<sim::Message> stash_;
+};
+
+/// Random mixture: occasionally signs its own (current-round) pulse payload
+/// and sends it to random subsets at random legal delays; occasionally
+/// replays observed traffic.
+class RandomByzantine final : public sim::ByzantineNode {
+ public:
+  explicit RandomByzantine(std::uint64_t seed) : rng_(seed) {}
+  void on_start(sim::AdversaryEnv&) override {}
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+
+ private:
+  util::Rng rng_;
+  std::unordered_set<std::uint64_t> signed_rounds_;
+};
+
+/// Srikanth–Toueg-specific attack that realizes the baseline's Θ(d) skew:
+/// all faulty nodes pre-sign ⟨ready r⟩ for the rounds they observe and feed
+/// the signatures (at minimum delay) to one fixed target node. The target
+/// then completes its f+1 certificate the instant its own ready timer fires
+/// and pulses a full message delay d before everyone else (who learn of the
+/// round only via the relayed certificate). This is why ST's skew cannot
+/// beat d — and why the paper's O(u + (ϑ−1)d) is a real improvement.
+class StAcceleratorByzantine final : public sim::ByzantineNode {
+ public:
+  explicit StAcceleratorByzantine(NodeId target) : target_(target) {}
+  void on_start(sim::AdversaryEnv&) override {}
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+
+ private:
+  NodeId target_;
+  std::unordered_set<Round> sent_;
+};
+
+/// Factory for the ST accelerator; all faulty nodes collude on `target`.
+[[nodiscard]] sim::ByzantineFactory make_st_accelerator_factory(NodeId target);
+
+/// Named strategies for parameterized tests and benches.
+enum class ByzStrategy {
+  kCrash,
+  kEchoRush,
+  kSplit,      // DeviantWrapper, split delays
+  kPullEarly,  // DeviantWrapper, min delays
+  kPullLate,   // DeviantWrapper, max delays + send shift
+  kReplay,
+  kRandom,
+};
+
+[[nodiscard]] const char* to_string(ByzStrategy strategy);
+
+/// All strategies, for sweep-style tests/benches.
+[[nodiscard]] const std::vector<ByzStrategy>& all_byz_strategies();
+
+/// Builds a ByzantineFactory for the given strategy. `inner_factory` supplies
+/// the honest node the Deviant strategies wrap (CPS in most benches; the
+/// baselines reuse this with their own nodes). `late_shift` tunes kPullLate;
+/// `split_shift` tunes kSplit's two-faced send timing.
+[[nodiscard]] sim::ByzantineFactory make_byzantine_factory(
+    ByzStrategy strategy, sim::HonestFactory inner_factory,
+    std::uint64_t seed, double late_shift = 0.0, double split_shift = 0.0);
+
+}  // namespace crusader::core

@@ -1,0 +1,86 @@
+#include "core/clock_service.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace crusader::core {
+
+/// Pass-through Env that observes pulse() and keeps a handle on the current
+/// env so read() can consult the hardware clock.
+class ClockService::Proxy final : public sim::Env {
+ public:
+  explicit Proxy(ClockService* owner) : owner_(owner) {}
+
+  void bind(sim::Env* env) { env_ = env; }
+  [[nodiscard]] sim::Env* bound() const { return env_; }
+
+  [[nodiscard]] NodeId id() const override { return env_->id(); }
+  [[nodiscard]] const sim::ModelParams& model() const override {
+    return env_->model();
+  }
+  [[nodiscard]] double local_now() const override { return env_->local_now(); }
+  void send(NodeId to, sim::Message m) override { env_->send(to, std::move(m)); }
+  void broadcast(const sim::Message& m) override { env_->broadcast(m); }
+  sim::TimerId schedule_at_local(double t, std::uint64_t tag) override {
+    return env_->schedule_at_local(t, tag);
+  }
+  void cancel_timer(sim::TimerId id) override { env_->cancel_timer(id); }
+
+  void pulse() override {
+    env_->pulse();
+    ++owner_->pulses_;
+    owner_->last_pulse_local_ = env_->local_now();
+  }
+
+  [[nodiscard]] crypto::Signature sign(
+      const crypto::SignedPayload& p) override {
+    return env_->sign(p);
+  }
+  [[nodiscard]] bool verify(const crypto::Signature& s,
+                            const crypto::SignedPayload& p) const override {
+    return env_->verify(s, p);
+  }
+
+ private:
+  ClockService* owner_;
+  sim::Env* env_ = nullptr;
+};
+
+ClockService::ClockService(std::unique_ptr<sim::PulseNode> inner, double tick,
+                           double nominal_period)
+    : proxy_(std::make_unique<Proxy>(this)),
+      inner_(std::move(inner)),
+      tick_(tick),
+      nominal_period_(nominal_period) {
+  CS_CHECK(inner_ != nullptr);
+  CS_CHECK(tick_ > 0.0 && nominal_period_ > 0.0);
+}
+
+ClockService::~ClockService() = default;
+
+void ClockService::on_start(sim::Env& env) {
+  proxy_->bind(&env);
+  inner_->on_start(*proxy_);
+}
+
+void ClockService::on_message(sim::Env& env, const sim::Message& m) {
+  proxy_->bind(&env);
+  inner_->on_message(*proxy_, m);
+}
+
+void ClockService::on_timer(sim::Env& env, std::uint64_t tag) {
+  proxy_->bind(&env);
+  inner_->on_timer(*proxy_, tag);
+}
+
+double ClockService::read() const {
+  if (pulses_ == 0) return 0.0;
+  CS_CHECK_MSG(proxy_->bound() != nullptr, "read() before on_start");
+  const double h = proxy_->bound()->local_now();
+  const double frac =
+      std::min(1.0, (h - last_pulse_local_) / nominal_period_);
+  return tick_ * (static_cast<double>(pulses_ - 1) + std::max(0.0, frac));
+}
+
+}  // namespace crusader::core

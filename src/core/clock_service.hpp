@@ -1,0 +1,57 @@
+#pragma once
+// Online logical clock service: the deployable counterpart of
+// LogicalClockView (which is an offline trace analyzer).
+//
+// Wraps any pulse protocol and maintains, *during the run*, a logical clock
+// the application can read at any moment:
+//
+//   L(h) = Λ·(i−1) + Λ·min(1, (h − h_i)/T_nom)          between pulses i, i+1
+//
+// where h is the current hardware-clock reading, h_i the local time of the
+// latest pulse, and T_nom a nominal period in (0, P_min·something]. Reading
+// only uses information the node actually has (its own pulses and hardware
+// clock) — no future knowledge, unlike the offline view.
+//
+// Guarantees (with pulse skew S and periods in [P_min, P_max], and
+// T_nom ≤ P_min, so the clamp never engages before the next pulse under
+// rate-1 clocks; with drift it may briefly plateau at the tick boundary):
+//   * monotone non-decreasing;
+//   * L(p_i local) = Λ·(i−1) exactly;
+//   * cross-node skew ≤ Λ·(1 + (S + (P_max − T_nom))/T_nom) — coarser than
+//     the offline interpolation, the price of being online.
+
+#include <memory>
+
+#include "sim/env.hpp"
+#include "sim/node.hpp"
+
+namespace crusader::core {
+
+class ClockService final : public sim::PulseNode {
+ public:
+  /// `tick` is Λ; `nominal_period` is T_nom (local-time units).
+  ClockService(std::unique_ptr<sim::PulseNode> pulse_protocol, double tick,
+               double nominal_period);
+  ~ClockService() override;
+
+  void on_start(sim::Env& env) override;
+  void on_message(sim::Env& env, const sim::Message& m) override;
+  void on_timer(sim::Env& env, std::uint64_t tag) override;
+
+  /// Current logical reading. Valid after the first pulse; 0 before.
+  [[nodiscard]] double read() const;
+
+  /// Number of pulses observed so far.
+  [[nodiscard]] Round pulses_seen() const noexcept { return pulses_; }
+
+ private:
+  class Proxy;
+  std::unique_ptr<Proxy> proxy_;
+  std::unique_ptr<sim::PulseNode> inner_;
+  double tick_;
+  double nominal_period_;
+  Round pulses_ = 0;
+  double last_pulse_local_ = 0.0;
+};
+
+}  // namespace crusader::core

@@ -1,0 +1,84 @@
+#include "core/logical_clock.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace crusader::core {
+
+LogicalClockView::LogicalClockView(const sim::PulseTrace& trace, NodeId v,
+                                   double tick)
+    : pulses_(trace.pulses(v)), tick_(tick) {
+  CS_CHECK_MSG(pulses_.size() >= 2, "need at least two pulses to interpolate");
+  CS_CHECK(tick_ > 0.0);
+}
+
+double LogicalClockView::domain_begin() const {
+  return pulses_.front().real_time;
+}
+
+double LogicalClockView::domain_end() const { return pulses_.back().real_time; }
+
+double LogicalClockView::at(double t) const {
+  if (t <= domain_begin()) return 0.0;
+  if (t >= domain_end())
+    return tick_ * static_cast<double>(pulses_.size() - 1);
+
+  // Find the pulse interval containing t.
+  const auto it = std::upper_bound(
+      pulses_.begin(), pulses_.end(), t,
+      [](double value, const sim::PulseEvent& p) { return value < p.real_time; });
+  const auto hi = static_cast<std::size_t>(it - pulses_.begin());
+  const std::size_t lo = hi - 1;
+
+  // Interpolate in LOCAL time between the two pulses: this is what the node
+  // itself can compute (it reads H_v, not real time). Between pulses the
+  // hardware clock is only sampled at the endpoints here; for piecewise-
+  // constant-rate segments within an interval this is exact up to the rate
+  // variation already accounted for in the skew bound.
+  const double h_lo = pulses_[lo].local_time;
+  const double h_hi = pulses_[hi].local_time;
+  const double t_lo = pulses_[lo].real_time;
+  const double t_hi = pulses_[hi].real_time;
+  // Local reading at t via linear proxy of the segment (exact for constant
+  // rate within the interval).
+  const double h = h_lo + (h_hi - h_lo) * (t - t_lo) / (t_hi - t_lo);
+  const double frac = (h - h_lo) / (h_hi - h_lo);
+  return tick_ * (static_cast<double>(lo) + frac);
+}
+
+double max_logical_skew(const sim::PulseTrace& trace, double tick,
+                        std::size_t steps) {
+  CS_CHECK(steps >= 2);
+  const auto honest = trace.honest();
+  CS_CHECK(honest.size() >= 2);
+
+  std::vector<LogicalClockView> views;
+  views.reserve(honest.size());
+  double begin = 0.0;
+  double end = 1e300;
+  for (NodeId v : honest) {
+    views.emplace_back(trace, v, tick);
+    begin = std::max(begin, views.back().domain_begin());
+    end = std::min(end, views.back().domain_end());
+  }
+  CS_CHECK_MSG(begin < end, "no common domain across honest nodes");
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t =
+        begin + (end - begin) * static_cast<double>(i) /
+                    static_cast<double>(steps - 1);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const auto& view : views) {
+      const double reading = view.at(t);
+      lo = std::min(lo, reading);
+      hi = std::max(hi, reading);
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
+}  // namespace crusader::core

@@ -1,0 +1,116 @@
+#include "core/synchronizer.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace crusader::core {
+
+/// Proxy Env: passes everything through, but observes pulse() to drive the
+/// round structure. Application traffic rides on MsgKind::kRaw with the
+/// round number in `round`.
+class SynchronizerNode::Proxy final : public sim::Env {
+ public:
+  Proxy(RoundFn fn, SynchronizerStats* stats)
+      : fn_(std::move(fn)), stats_(stats) {}
+
+  void bind(sim::Env* env) { env_ = env; }
+
+  [[nodiscard]] NodeId id() const override { return env_->id(); }
+  [[nodiscard]] const sim::ModelParams& model() const override {
+    return env_->model();
+  }
+  [[nodiscard]] double local_now() const override { return env_->local_now(); }
+  void send(NodeId to, sim::Message m) override { env_->send(to, std::move(m)); }
+  void broadcast(const sim::Message& m) override { env_->broadcast(m); }
+  sim::TimerId schedule_at_local(double local_time, std::uint64_t tag) override {
+    return env_->schedule_at_local(local_time, tag);
+  }
+  void cancel_timer(sim::TimerId id) override { env_->cancel_timer(id); }
+
+  [[nodiscard]] crypto::Signature sign(
+      const crypto::SignedPayload& payload) override {
+    return env_->sign(payload);
+  }
+  [[nodiscard]] bool verify(const crypto::Signature& sig,
+                            const crypto::SignedPayload& payload) const override {
+    return env_->verify(sig, payload);
+  }
+
+  void pulse() override {
+    env_->pulse();
+    ++round_;
+    ++stats_->rounds_started;
+
+    // Deliver the previous round's inbox to the application and send its
+    // round-`round_` messages.
+    std::vector<AppMessage> inbox = std::move(prev_inbox_);
+    prev_inbox_.clear();
+    std::swap(prev_inbox_, cur_inbox_);
+
+    const std::vector<AppMessage> outbox = fn_(round_, inbox);
+    for (const AppMessage& app : outbox) {
+      sim::Message m;
+      m.kind = sim::MsgKind::kRaw;
+      m.round = round_;
+      m.value = app.value;
+      if (app.peer == kInvalidNode) {
+        env_->broadcast(m);
+      } else {
+        env_->send(app.peer, m);
+      }
+    }
+  }
+
+  /// Returns true when the message was application traffic (consumed here).
+  bool maybe_consume(const sim::Message& m) {
+    if (m.kind != sim::MsgKind::kRaw) return false;
+    ++stats_->app_messages_received;
+    if (m.round == round_) {
+      // Round-r message received during our round r: delivered to the app at
+      // the next pulse. This is the guaranteed case.
+      cur_inbox_.push_back(AppMessage{m.sender, m.value});
+    } else if (m.round + 1 == round_) {
+      // Arrived after our pulse r+1: the synchronizer guarantee failed.
+      ++stats_->late_messages;
+    } else {
+      ++stats_->late_messages;
+    }
+    return true;
+  }
+
+ private:
+  RoundFn fn_;
+  SynchronizerStats* stats_;
+  sim::Env* env_ = nullptr;
+  Round round_ = 0;
+  std::vector<AppMessage> cur_inbox_;   // round == round_
+  std::vector<AppMessage> prev_inbox_;  // delivered at the next pulse
+};
+
+SynchronizerNode::SynchronizerNode(std::unique_ptr<sim::PulseNode> inner,
+                                   RoundFn fn)
+    : proxy_(std::make_unique<Proxy>(std::move(fn), &stats_)),
+      inner_(std::move(inner)) {
+  CS_CHECK(inner_ != nullptr);
+}
+
+SynchronizerNode::~SynchronizerNode() = default;
+
+void SynchronizerNode::on_start(sim::Env& env) {
+  proxy_->bind(&env);
+  inner_->on_start(*proxy_);
+}
+
+void SynchronizerNode::on_message(sim::Env& env, const sim::Message& m) {
+  proxy_->bind(&env);
+  if (proxy_->maybe_consume(m)) return;
+  inner_->on_message(*proxy_, m);
+}
+
+void SynchronizerNode::on_timer(sim::Env& env, std::uint64_t tag) {
+  proxy_->bind(&env);
+  inner_->on_timer(*proxy_, tag);
+}
+
+}  // namespace crusader::core

@@ -1,0 +1,47 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace crusader::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k_block{};
+
+  if (key.size() > kBlock) {
+    const Digest hashed = Sha256::hash(key);
+    std::memcpy(k_block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Digest hmac_sha256(const std::string& key, const std::string& message) noexcept {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+}
+
+}  // namespace crusader::crypto

@@ -1,0 +1,19 @@
+#pragma once
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) built on our SHA-256.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace crusader::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+[[nodiscard]] Digest hmac_sha256(const std::string& key,
+                                 const std::string& message) noexcept;
+
+}  // namespace crusader::crypto

@@ -1,0 +1,45 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch — the environment is
+// offline, so we carry our own hash for the HMAC-backed signature scheme.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crusader::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(const std::string& s) noexcept;
+
+  /// Finalizes and returns the digest. The context must not be reused
+  /// afterwards (construct a fresh one).
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(const std::string& s) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+/// Hex encoding of a digest (lowercase), for logging and tests.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+}  // namespace crusader::crypto

@@ -1,0 +1,150 @@
+#include "lowerbound/composite.hpp"
+
+#include "util/check.hpp"
+
+namespace crusader::lowerbound {
+
+namespace {
+// Timer-tag space: bits 56..59 carry (inner index + 1); bit 60 marks an
+// intra-group delivery whose low bits index `held_`.
+constexpr std::uint64_t kInnerShift = 56;
+constexpr std::uint64_t kInnerMask = 0xFULL << kInnerShift;
+constexpr std::uint64_t kHoldBit = 1ULL << 60;
+}  // namespace
+
+/// Env handed to each inner node: local time and timers pass through to the
+/// outer env (shared clock); sends become intra-group deliveries plus an
+/// outer broadcast; signatures use the inner node's own key.
+class CompositeNode::InnerEnv final : public sim::Env {
+ public:
+  InnerEnv(CompositeNode* owner, std::size_t index)
+      : owner_(owner), index_(index) {}
+
+  void bind(sim::Env* outer) { outer_ = outer; }
+
+  [[nodiscard]] NodeId id() const override { return owner_->globals_[index_]; }
+  [[nodiscard]] const sim::ModelParams& model() const override {
+    return owner_->inner_model_;
+  }
+  [[nodiscard]] double local_now() const override {
+    return outer_->local_now();
+  }
+
+  void send(NodeId, sim::Message) override {
+    CS_CHECK_MSG(false, "CompositeNode supports broadcast-only protocols");
+  }
+
+  void broadcast(const sim::Message& m) override {
+    sim::Message tagged = m;
+    tagged.origin = id();
+    owner_->local_broadcast(*outer_, id(), tagged);
+  }
+
+  sim::TimerId schedule_at_local(double local_time, std::uint64_t tag) override {
+    CS_CHECK_MSG((tag & (kInnerMask | kHoldBit)) == 0,
+                 "inner timer tag collides with composite routing bits");
+    return outer_->schedule_at_local(
+        local_time, tag | ((index_ + 1) << kInnerShift));
+  }
+
+  void cancel_timer(sim::TimerId timer) override {
+    outer_->cancel_timer(timer);
+  }
+
+  void pulse() override {
+    // Only the lexicographically first inner node's pulses count (Theorem 5
+    // proof); the others pulse silently.
+    if (index_ == 0) outer_->pulse();
+  }
+
+  [[nodiscard]] crypto::Signature sign(
+      const crypto::SignedPayload& payload) override {
+    return owner_->pki_->sign(id(), payload, 0);
+  }
+
+  [[nodiscard]] bool verify(const crypto::Signature& sig,
+                            const crypto::SignedPayload& payload) const override {
+    return owner_->pki_->verify(sig, payload);
+  }
+
+ private:
+  CompositeNode* owner_;
+  std::size_t index_;
+  sim::Env* outer_ = nullptr;
+};
+
+CompositeNode::CompositeNode(
+    std::vector<NodeId> globals, sim::ModelParams inner_model,
+    crypto::Pki* pki,
+    const std::function<std::unique_ptr<sim::PulseNode>(NodeId)>& inner_factory)
+    : globals_(std::move(globals)), inner_model_(inner_model), pki_(pki) {
+  CS_CHECK_MSG(!globals_.empty() && globals_.size() <= 15,
+               "composite hosts 1..15 inner nodes");
+  // Intra-group delivery measured on the local clock: real delay lies in
+  // [d/ϑ, d]; it must stay within [d−u, d].
+  CS_CHECK_MSG(inner_model_.d / inner_model_.vartheta >=
+                   inner_model_.d - inner_model_.u - 1e-12,
+               "need vartheta <= d/(d-u) for local-time intra-group delays");
+  for (std::size_t i = 0; i < globals_.size(); ++i) {
+    inner_.push_back(inner_factory(globals_[i]));
+    CS_CHECK(inner_.back() != nullptr);
+    envs_.push_back(std::make_unique<InnerEnv>(this, i));
+  }
+}
+
+CompositeNode::~CompositeNode() = default;
+
+void CompositeNode::on_start(sim::Env& env) {
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    envs_[i]->bind(&env);
+    inner_[i]->on_start(*envs_[i]);
+  }
+}
+
+void CompositeNode::local_broadcast(sim::Env& outer, NodeId /*inner_from*/,
+                                    const sim::Message& m) {
+  // Outer legs: one physical broadcast to the other composites.
+  outer.broadcast(m);
+  // Intra-group legs: deliver after local delay d (within Π's bounds).
+  const std::uint64_t index = held_.size();
+  held_.push_back(m);
+  outer.schedule_at_local(outer.local_now() + inner_model_.d,
+                          kHoldBit | index);
+}
+
+void CompositeNode::deliver_inner(sim::Env& outer, const sim::Message& m,
+                                  NodeId skip) {
+  sim::Message routed = m;
+  // Restore the logical (protocol-level) sender for the inner nodes.
+  routed.sender = m.origin;
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    if (globals_[i] == skip) continue;
+    envs_[i]->bind(&outer);
+    inner_[i]->on_message(*envs_[i], routed);
+  }
+}
+
+void CompositeNode::on_message(sim::Env& env, const sim::Message& m) {
+  CS_CHECK_MSG(m.origin != kInvalidNode,
+               "composite transport requires the origin field");
+  deliver_inner(env, m);
+}
+
+void CompositeNode::on_timer(sim::Env& env, std::uint64_t tag) {
+  if (tag & kHoldBit) {
+    const std::uint64_t index = tag & ~(kHoldBit | kInnerMask);
+    CS_CHECK(index < held_.size());
+    const sim::Message m = held_[index];
+    // Broadcast semantics: the sender does not deliver to itself.
+    deliver_inner(env, m, /*skip=*/m.origin);
+    return;
+  }
+  const std::uint64_t inner_bits = (tag & kInnerMask) >> kInnerShift;
+  CS_CHECK_MSG(inner_bits >= 1 && inner_bits <= inner_.size(),
+               "timer tag without inner routing bits");
+  const std::size_t index = inner_bits - 1;
+  envs_[index]->bind(&env);
+  inner_[index]->on_timer(*envs_[index], tag & ~kInnerMask);
+}
+
+}  // namespace crusader::lowerbound

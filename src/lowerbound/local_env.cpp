@@ -1,0 +1,63 @@
+#include "lowerbound/local_env.hpp"
+
+#include "lowerbound/triple_execution.hpp"
+#include "util/check.hpp"
+
+namespace crusader::lowerbound {
+
+ViewEnv::ViewEnv(NodeId id, TripleExecution* owner,
+                 const sim::ModelParams* model, crypto::Pki* pki,
+                 std::unique_ptr<sim::PulseNode> node)
+    : id_(id), owner_(owner), model_(model), pki_(pki), node_(std::move(node)) {
+  CS_CHECK(node_ != nullptr);
+}
+
+void ViewEnv::start() {
+  local_now_ = 0.0;  // perfect initial synchrony (Theorem 5's assumption)
+  node_->on_start(*this);
+}
+
+void ViewEnv::deliver(double local_time, const sim::Message& m) {
+  CS_CHECK_MSG(local_time >= local_now_ - 1e-9,
+               "local time regressed in view " << id_);
+  local_now_ = std::max(local_now_, local_time);
+  node_->on_message(*this, m);
+}
+
+void ViewEnv::fire_timer(double local_time, std::uint64_t tag) {
+  CS_CHECK_MSG(local_time >= local_now_ - 1e-9,
+               "timer regressed in view " << id_);
+  local_now_ = std::max(local_now_, local_time);
+  node_->on_timer(*this, tag);
+}
+
+void ViewEnv::send(NodeId to, sim::Message m) {
+  owner_->transfer(id_, to, std::move(m));
+}
+
+void ViewEnv::broadcast(const sim::Message& m) {
+  for (NodeId to = 0; to < 3; ++to)
+    if (to != id_) owner_->transfer(id_, to, m);
+}
+
+sim::TimerId ViewEnv::schedule_at_local(double local_time, std::uint64_t tag) {
+  return owner_->schedule_timer(id_, std::max(local_time, local_now_), tag);
+}
+
+void ViewEnv::cancel_timer(sim::TimerId id) { owner_->cancel(id); }
+
+void ViewEnv::pulse() {
+  pulses_.push_back(local_now_);
+  owner_->note_pulse(id_);
+}
+
+crypto::Signature ViewEnv::sign(const crypto::SignedPayload& payload) {
+  return pki_->sign(id_, payload, 0);
+}
+
+bool ViewEnv::verify(const crypto::Signature& sig,
+                     const crypto::SignedPayload& payload) const {
+  return pki_->verify(sig, payload);
+}
+
+}  // namespace crusader::lowerbound

@@ -1,0 +1,59 @@
+#pragma once
+// Env implementation for the lower-bound co-simulation: drives a protocol
+// node purely through local-time events, with message transfer and timer
+// scheduling delegated to the TripleExecution that owns it.
+
+#include <memory>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "sim/env.hpp"
+#include "sim/node.hpp"
+
+namespace crusader::lowerbound {
+
+class TripleExecution;
+
+/// One "view machine": node j's (identical) local view in the two executions
+/// where it is honest.
+class ViewEnv final : public sim::Env {
+ public:
+  ViewEnv(NodeId id, TripleExecution* owner, const sim::ModelParams* model,
+          crypto::Pki* pki, std::unique_ptr<sim::PulseNode> node);
+
+  // --- driven by TripleExecution ---
+  void start();
+  void deliver(double local_time, const sim::Message& m);
+  void fire_timer(double local_time, std::uint64_t tag);
+
+  [[nodiscard]] const std::vector<double>& local_pulses() const noexcept {
+    return pulses_;
+  }
+
+  // --- sim::Env ---
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] const sim::ModelParams& model() const override {
+    return *model_;
+  }
+  [[nodiscard]] double local_now() const override { return local_now_; }
+  void send(NodeId to, sim::Message m) override;
+  void broadcast(const sim::Message& m) override;
+  sim::TimerId schedule_at_local(double local_time, std::uint64_t tag) override;
+  void cancel_timer(sim::TimerId id) override;
+  void pulse() override;
+  [[nodiscard]] crypto::Signature sign(
+      const crypto::SignedPayload& payload) override;
+  [[nodiscard]] bool verify(const crypto::Signature& sig,
+                            const crypto::SignedPayload& payload) const override;
+
+ private:
+  NodeId id_;
+  TripleExecution* owner_;
+  const sim::ModelParams* model_;
+  crypto::Pki* pki_;
+  std::unique_ptr<sim::PulseNode> node_;
+  double local_now_ = 0.0;
+  std::vector<double> pulses_;
+};
+
+}  // namespace crusader::lowerbound

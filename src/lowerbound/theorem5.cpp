@@ -1,0 +1,40 @@
+#include "lowerbound/theorem5.hpp"
+
+#include "util/check.hpp"
+
+namespace crusader::lowerbound {
+
+Theorem5Report run_theorem5(baselines::ProtocolKind protocol,
+                            const sim::ModelParams& model,
+                            std::size_t target_rounds) {
+  CS_CHECK(model.n == 3);
+
+  const auto setup = baselines::make_setup(protocol, model);
+  CS_CHECK_MSG(setup.feasible, "protocol infeasible for this model");
+
+  TripleConfig config;
+  config.model = model;
+  config.target_rounds = target_rounds;
+  // Master horizon: ramp length plus enough rounds, with generous margin.
+  const double ramp = 2.0 * model.u_tilde / (3.0 * (model.vartheta - 1.0));
+  config.master_horizon =
+      ramp + (static_cast<double>(target_rounds) + 20.0) * setup.round_length +
+      100.0 * model.d;
+
+  TripleExecution triple(config, baselines::make_protocol_factory(setup));
+  const TripleResult result = triple.run();
+
+  Theorem5Report report;
+  report.protocol = protocol;
+  report.u_tilde = model.u_tilde;
+  report.bound = result.bound;
+  report.max_skew = result.max_skew;
+  report.telescoped_sum = result.telescoped_sum;
+  report.rounds = result.rounds;
+  report.settled_round = result.first_settled_round;
+  report.bound_holds = result.rounds > result.first_settled_round &&
+                       result.max_skew >= result.bound - 1e-6;
+  return report;
+}
+
+}  // namespace crusader::lowerbound

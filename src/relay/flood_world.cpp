@@ -1,0 +1,224 @@
+#include "relay/flood_world.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace crusader::relay {
+
+sim::ModelParams effective_model(const RelayConfig& config) {
+  const auto& hop = config.hop_model;
+  const std::uint32_t n = config.topology.n();
+  CS_CHECK_MSG(hop.n == n, "hop_model.n must match the topology");
+  CS_CHECK_MSG(config.topology.survives_faults(hop.f),
+               "topology is not (f+1)-connected");
+  const std::uint32_t worst = config.topology.worst_case_distance(hop.f);
+
+  sim::ModelParams eff = hop;
+  const double hops = static_cast<double>(worst);
+  eff.d = hops * hop.d;
+  // Balanced delivery: uncertainty = accumulated per-hop uncertainty plus
+  // the drift of the destination-side hold (measured on a local clock).
+  eff.u = hops * hop.u + (hop.vartheta - 1.0) * hops * hop.d;
+  eff.u_tilde = eff.u;
+  eff.validate();  // also enforces d_eff > 2 u_eff
+  return eff;
+}
+
+/// Env implementation: physical sends become floods; everything else is the
+/// standard world machinery.
+class RelayWorld::NodeHost final : public sim::Env {
+ public:
+  NodeHost(NodeId id, RelayWorld* world, std::unique_ptr<sim::PulseNode> node)
+      : id_(id), world_(world), node_(std::move(node)) {}
+
+  void start() { node_->on_start(*this); }
+
+  /// First copy of a flood processed here (post-hold).
+  void process(const sim::Message& m) { node_->on_message(*this, m); }
+
+  /// Flood bookkeeping: returns true when this id was not seen before.
+  bool first_sight(std::uint64_t flood_id) {
+    return seen_.insert(flood_id).second;
+  }
+
+  /// Destination-side hold management: keep the earliest processing time.
+  struct PendingFlood {
+    sim::EventId event = 0;
+    double process_local = 0.0;
+    bool processed = false;
+  };
+  std::map<std::uint64_t, PendingFlood> pending_;
+
+  // --- sim::Env -----------------------------------------------------------
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] const sim::ModelParams& model() const override {
+    return world_->effective_;
+  }
+  [[nodiscard]] double local_now() const override {
+    return world_->clocks_[id_].local(world_->engine_.now());
+  }
+  void send(NodeId to, sim::Message m) override {
+    // Point-to-point sends also ride the flood (every protocol message here
+    // is broadcast-like; unicast just gets filtered by recipients).
+    (void)to;
+    m.sender = id_;
+    world_->flood_from(id_, m);
+  }
+  void broadcast(const sim::Message& m) override {
+    sim::Message copy = m;
+    copy.sender = id_;
+    world_->flood_from(id_, copy);
+  }
+  sim::TimerId schedule_at_local(double local_time, std::uint64_t tag) override {
+    const auto& clock = world_->clocks_[id_];
+    const double h0 = clock.segments().front().h0;
+    const double t = local_time <= h0 ? 0.0 : clock.real(local_time);
+    return world_->engine_.at(std::max(t, world_->engine_.now()),
+                              [this, tag] { node_->on_timer(*this, tag); });
+  }
+  void cancel_timer(sim::TimerId id) override { world_->engine_.cancel(id); }
+  void pulse() override {
+    world_->trace_->record(id_, world_->engine_.now(), local_now());
+  }
+  [[nodiscard]] crypto::Signature sign(
+      const crypto::SignedPayload& payload) override {
+    return world_->pki_->sign(id_, payload, 0);
+  }
+  [[nodiscard]] bool verify(const crypto::Signature& sig,
+                            const crypto::SignedPayload& payload) const override {
+    return world_->pki_->verify(sig, payload);
+  }
+
+ private:
+  NodeId id_;
+  RelayWorld* world_;
+  std::unique_ptr<sim::PulseNode> node_;
+  std::set<std::uint64_t> seen_;
+};
+
+RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory)
+    : config_(std::move(config)),
+      effective_(effective_model(config_)),
+      worst_hops_(config_.topology.worst_case_distance(config_.hop_model.f)),
+      rng_(config_.seed) {
+  const std::uint32_t n = config_.topology.n();
+  faulty_.assign(n, false);
+  for (NodeId v : config_.faulty) {
+    CS_CHECK(v < n);
+    faulty_[v] = true;
+  }
+  CS_CHECK_MSG(config_.faulty.size() <= config_.hop_model.f,
+               "more faulty nodes than the fault budget");
+
+  pki_ = std::make_unique<crypto::Pki>(n, config_.pki_kind,
+                                       config_.seed ^ 0xf100dULL);
+  hop_policy_ = sim::make_delay_policy(config_.delay_kind, n);
+  trace_ = std::make_unique<sim::PulseTrace>(n, faulty_);
+
+  // Clocks: reuse the world conventions.
+  const double s0 = config_.initial_offset;
+  const double vt = config_.hop_model.vartheta;
+  for (NodeId v = 0; v < n; ++v) {
+    switch (config_.clock_kind) {
+      case sim::ClockKind::kNominal:
+        clocks_.push_back(sim::HardwareClock::constant(
+            1.0, n > 1 ? s0 * v / (n - 1) : 0.0));
+        break;
+      case sim::ClockKind::kSpread: {
+        const bool fast = (v % 2) == 1;
+        clocks_.push_back(
+            sim::HardwareClock::constant(fast ? vt : 1.0, fast ? s0 : 0.0));
+        break;
+      }
+      default: {
+        util::Rng node_rng = rng_.fork(0xc10c000ULL + v);
+        const double offset = node_rng.uniform(0.0, s0);
+        clocks_.push_back(sim::HardwareClock::random_walk(
+            node_rng, vt, offset, 5.0, config_.horizon + effective_.d));
+        break;
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (faulty_[v]) {
+      hosts_.push_back(nullptr);  // crash node: no protocol, no relaying
+      continue;
+    }
+    hosts_.push_back(std::make_unique<NodeHost>(v, this, factory(v)));
+  }
+}
+
+RelayWorld::~RelayWorld() = default;
+
+void RelayWorld::flood_from(NodeId origin, const sim::Message& m) {
+  const std::uint64_t flood_id = next_flood_++;
+  hop_deliver(origin, flood_id, 0, m);
+}
+
+void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
+                             std::uint32_t hops, const sim::Message& m) {
+  // `at` just obtained this flood copy after `hops` hops.
+  if (faulty_[at]) return;  // crash relay: drops everything
+  NodeHost& host = *hosts_[at];
+
+  // Destination-side processing with path balancing. The origin never
+  // processes copies of its own broadcast that cycle back to it.
+  if (hops > 0 && at != m.sender) {
+    const double hold_local =
+        static_cast<double>(worst_hops_ - std::min(hops, worst_hops_)) *
+        config_.hop_model.d;
+    const double process_local = host.local_now() + hold_local;
+    auto [it, inserted] = host.pending_.try_emplace(flood_id);
+    auto& pending = it->second;
+    // Keep the earliest processing time across copies (a later copy with a
+    // smaller remaining hold can beat an earlier one).
+    if (!pending.processed &&
+        (inserted || process_local < pending.process_local - 1e-12)) {
+      if (!inserted) engine_.cancel(pending.event);
+      pending.process_local = process_local;
+      const double t =
+          std::max(clocks_[at].real(process_local), engine_.now());
+      pending.event = engine_.at(t, [this, at, flood_id, m]() {
+        auto& h = *hosts_[at];
+        auto pit = h.pending_.find(flood_id);
+        if (pit == h.pending_.end() || pit->second.processed) return;
+        pit->second.processed = true;
+        h.process(m);
+      });
+    }
+  }
+
+  // Forward once per flood id.
+  if (!host.first_sight(flood_id)) return;
+  for (NodeId next : config_.topology.neighbors(at)) {
+    const double lo = config_.hop_model.d - config_.hop_model.u;
+    const double hi = config_.hop_model.d;
+    const double delay =
+        hop_policy_->delay(at, next, engine_.now(), m, lo, hi, rng_);
+    ++physical_messages_;
+    engine_.at(engine_.now() + delay, [this, next, flood_id, hops, m]() {
+      hop_deliver(next, flood_id, hops + 1, m);
+    });
+  }
+}
+
+RelayRunResult RelayWorld::run() {
+  for (NodeId v = 0; v < config_.topology.n(); ++v) {
+    if (faulty_[v]) continue;
+    engine_.at(0.0, [this, v] { hosts_[v]->start(); });
+  }
+  engine_.run_until(config_.horizon);
+
+  RelayRunResult result;
+  result.trace = *trace_;
+  result.effective = effective_;
+  result.worst_hops = worst_hops_;
+  result.physical_messages = physical_messages_;
+  result.floods = next_flood_;
+  return result;
+}
+
+}  // namespace crusader::relay

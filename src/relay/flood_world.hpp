@@ -1,0 +1,97 @@
+#pragma once
+// Sparse-network harness: runs any pulse protocol over a (f+1)-connected
+// topology by flooding signed messages along relay paths (Appendix A of the
+// paper).
+//
+// Mechanics:
+//  * A broadcast by node `origin` becomes a flood: each honest node forwards
+//    the first copy it receives to all its neighbours; faulty nodes drop
+//    everything (crash relays — the worst case for connectivity).
+//  * Each physical hop takes an adversary-chosen delay in
+//    [d_hop − u_hop, d_hop].
+//  * Path balancing (the paper: "one needs to balance the length of the
+//    utilized paths in order to keep ũ much smaller than d"): a destination
+//    that receives a copy after h hops holds it locally for (D_f − h)·d_hop
+//    local-time units before processing, where D_f is the worst-case
+//    fault-free hop distance. Every pair's effective link then behaves like
+//    a D_f-hop path, so the protocol can run with uniform effective
+//    parameters
+//        d_eff = D_f · d_hop
+//        u_eff = D_f · u_hop + (ϑ−1) · D_f · d_hop   (hold-time drift)
+//    instead of the unusable u_eff ≈ d_eff − d_hop of unbalanced delivery.
+//
+// Protocol nodes run completely unchanged — they just receive the effective
+// ModelParams. This is exactly the paper's translation statement.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "relay/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/hardware_clock.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/trace.hpp"
+#include "sim/world.hpp"
+
+namespace crusader::relay {
+
+struct RelayConfig {
+  Topology topology = Topology::complete(4);
+  /// Per-hop model (d_hop, u_hop, vartheta); n/f are taken from here too.
+  sim::ModelParams hop_model;
+  std::uint64_t seed = 1;
+  double horizon = 200.0;
+  double initial_offset = 0.0;
+  sim::ClockKind clock_kind = sim::ClockKind::kSpread;
+  sim::DelayKind delay_kind = sim::DelayKind::kRandom;
+  /// Crash-faulty relay/protocol nodes (they neither forward nor speak).
+  std::vector<NodeId> faulty;
+  crypto::Pki::Kind pki_kind = crypto::Pki::Kind::kSymbolic;
+};
+
+struct RelayRunResult {
+  sim::PulseTrace trace;
+  sim::ModelParams effective;   ///< what the protocol was configured with
+  std::uint32_t worst_hops = 0; ///< D_f
+  std::uint64_t physical_messages = 0;
+  std::uint64_t floods = 0;
+};
+
+/// Computes the effective fully-connected model the flooding overlay
+/// presents to the protocol (see file header).
+[[nodiscard]] sim::ModelParams effective_model(const RelayConfig& config);
+
+class RelayWorld {
+ public:
+  RelayWorld(RelayConfig config, sim::HonestFactory factory);
+  ~RelayWorld();
+
+  RelayRunResult run();
+
+ private:
+  class NodeHost;
+
+  void flood_from(NodeId origin, const sim::Message& m);
+  void hop_deliver(NodeId to, std::uint64_t flood_id, std::uint32_t hops,
+                   const sim::Message& m);
+
+  RelayConfig config_;
+  sim::ModelParams effective_;
+  std::uint32_t worst_hops_ = 0;
+  std::vector<bool> faulty_;
+  sim::Engine engine_;
+  std::unique_ptr<crypto::Pki> pki_;
+  std::vector<sim::HardwareClock> clocks_;
+  std::unique_ptr<sim::DelayPolicy> hop_policy_;
+  util::Rng rng_;
+  std::unique_ptr<sim::PulseTrace> trace_;
+  std::vector<std::unique_ptr<NodeHost>> hosts_;
+  std::uint64_t next_flood_ = 0;
+  std::uint64_t physical_messages_ = 0;
+};
+
+}  // namespace crusader::relay

@@ -1,0 +1,164 @@
+#include "relay/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace crusader::relay {
+
+Topology::Topology(std::uint32_t n) : adj_(n) {
+  CS_CHECK_MSG(n >= 2, "topology needs at least two nodes");
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  CS_CHECK(a < n() && b < n() && a != b);
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++edges_;
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  CS_CHECK(a < n() && b < n());
+  return std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end();
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId v) const {
+  CS_CHECK(v < n());
+  return adj_[v];
+}
+
+std::uint32_t Topology::distance(NodeId s, NodeId t,
+                                 const std::vector<bool>& excluded) const {
+  CS_CHECK(s < n() && t < n());
+  CS_CHECK(excluded.size() == n());
+  if (s == t) return 0;
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(n(), kInf);
+  std::deque<NodeId> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : adj_[v]) {
+      if (w != t && excluded[w]) continue;
+      if (dist[w] != kInf) continue;
+      dist[w] = dist[v] + 1;
+      if (w == t) return dist[w];
+      queue.push_back(w);
+    }
+  }
+  return kInf;
+}
+
+void Topology::for_each_faulty_set(
+    std::uint32_t f,
+    const std::function<void(std::vector<bool>&)>& fn) const {
+  // Enumerate all subsets of size exactly f (smaller sets are dominated:
+  // removing fewer nodes never increases distances).
+  std::vector<NodeId> subset;
+  std::vector<bool> excluded(n(), false);
+  std::function<void(NodeId)> rec = [&](NodeId start) {
+    if (subset.size() == f) {
+      fn(excluded);
+      return;
+    }
+    for (NodeId v = start; v < n(); ++v) {
+      excluded[v] = true;
+      subset.push_back(v);
+      rec(v + 1);
+      subset.pop_back();
+      excluded[v] = false;
+    }
+  };
+  if (f == 0) {
+    fn(excluded);
+  } else {
+    rec(0);
+  }
+}
+
+bool Topology::survives_faults(std::uint32_t f) const {
+  CS_CHECK_MSG(f + 2 <= n(), "need at least f+2 nodes");
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  bool ok = true;
+  for_each_faulty_set(f, [&](std::vector<bool>& excluded) {
+    if (!ok) return;
+    for (NodeId s = 0; s < n() && ok; ++s) {
+      if (excluded[s]) continue;
+      for (NodeId t = s + 1; t < n() && ok; ++t) {
+        if (excluded[t]) continue;
+        if (distance(s, t, excluded) == kInf) ok = false;
+      }
+    }
+  });
+  return ok;
+}
+
+std::uint32_t Topology::worst_case_distance(std::uint32_t f) const {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t worst = 0;
+  for_each_faulty_set(f, [&](std::vector<bool>& excluded) {
+    for (NodeId s = 0; s < n(); ++s) {
+      if (excluded[s]) continue;
+      for (NodeId t = s + 1; t < n(); ++t) {
+        if (excluded[t]) continue;
+        const std::uint32_t dist = distance(s, t, excluded);
+        CS_CHECK_MSG(dist != kInf,
+                     "topology not (f+1)-connected; call survives_faults first");
+        worst = std::max(worst, dist);
+      }
+    }
+  });
+  return worst;
+}
+
+Topology Topology::complete(std::uint32_t n) {
+  Topology topo(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) topo.add_edge(a, b);
+  return topo;
+}
+
+Topology Topology::ring(std::uint32_t n) {
+  Topology topo(n);
+  for (NodeId v = 0; v < n; ++v) topo.add_edge(v, (v + 1) % n);
+  return topo;
+}
+
+Topology Topology::chordal_ring(std::uint32_t n, std::uint32_t stride) {
+  CS_CHECK(stride >= 2 && stride < n);
+  Topology topo = ring(n);
+  for (NodeId v = 0; v < n; ++v) topo.add_edge(v, (v + stride) % n);
+  return topo;
+}
+
+Topology Topology::ring_of_cliques(std::uint32_t cliques, std::uint32_t size,
+                                   std::uint32_t bridges) {
+  // Outgoing bridges leave from nodes {0..bridges-1} and incoming bridges
+  // land on nodes {size-1 .. size-bridges}: every clique then exposes
+  // 2*bridges DISTINCT gateway nodes, so it takes 2*bridges faults inside
+  // one clique to cut it off — the topology survives f = 2*bridges − 1...
+  // in practice f = bridges faults anywhere (bridge endpoints are the
+  // bottleneck across one junction).
+  CS_CHECK(cliques >= 2 && size >= 2 && bridges >= 1 && 2 * bridges <= size);
+  Topology topo(cliques * size);
+  auto id = [size](std::uint32_t clique, std::uint32_t i) {
+    return static_cast<NodeId>(clique * size + i);
+  };
+  for (std::uint32_t c = 0; c < cliques; ++c) {
+    for (std::uint32_t i = 0; i < size; ++i)
+      for (std::uint32_t j = i + 1; j < size; ++j)
+        topo.add_edge(id(c, i), id(c, j));
+    const std::uint32_t next = (c + 1) % cliques;
+    for (std::uint32_t b = 0; b < bridges; ++b)
+      topo.add_edge(id(c, b), id(next, size - 1 - b));
+  }
+  return topo;
+}
+
+}  // namespace crusader::relay

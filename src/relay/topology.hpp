@@ -1,0 +1,67 @@
+#pragma once
+// Sparse network topologies for the Appendix-A translation: with signatures,
+// (f+1)-connectivity is necessary and sufficient to simulate full
+// connectivity (faulty nodes can only drop or delay signed messages, never
+// alter them, so one fault-free path suffices).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace crusader::relay {
+
+/// Undirected simple graph on nodes [0, n).
+class Topology {
+ public:
+  explicit Topology(std::uint32_t n);
+
+  void add_edge(NodeId a, NodeId b);
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// BFS distance from s to t avoiding `excluded` nodes (s, t never
+  /// excluded). Returns UINT32_MAX when disconnected.
+  [[nodiscard]] std::uint32_t distance(NodeId s, NodeId t,
+                                       const std::vector<bool>& excluded) const;
+
+  /// True iff every pair of nodes stays connected after removing any set of
+  /// up to `f` other nodes — i.e. the graph is (f+1)-connected in the sense
+  /// required by Appendix A. Brute force over subsets: intended for the
+  /// small topologies of tests/benches (n ≤ ~20, f ≤ 3).
+  [[nodiscard]] bool survives_faults(std::uint32_t f) const;
+
+  /// Worst-case fault-free distance: max over node pairs (s,t) and faulty
+  /// sets F, |F| ≤ f, s,t ∉ F, of dist_{G−F}(s, t). This is the hop count
+  /// D_f that bounds the relay path length, hence the effective end-to-end
+  /// delay D_f · d_hop. Requires survives_faults(f).
+  [[nodiscard]] std::uint32_t worst_case_distance(std::uint32_t f) const;
+
+  // --- Factories ---------------------------------------------------------
+  [[nodiscard]] static Topology complete(std::uint32_t n);
+  [[nodiscard]] static Topology ring(std::uint32_t n);
+  /// Ring plus chords to every `stride`-th node: (f+1)-connected for larger
+  /// f than a plain ring while staying sparse.
+  [[nodiscard]] static Topology chordal_ring(std::uint32_t n,
+                                             std::uint32_t stride);
+  /// `cliques` cliques of size `size`, consecutive cliques joined by
+  /// `bridges` disjoint edges — the "balanced paths" example of EXPERIMENTS
+  /// E11.
+  [[nodiscard]] static Topology ring_of_cliques(std::uint32_t cliques,
+                                                std::uint32_t size,
+                                                std::uint32_t bridges);
+
+ private:
+  void for_each_faulty_set(std::uint32_t f,
+                           const std::function<void(std::vector<bool>&)>& fn) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace crusader::relay

@@ -1,0 +1,37 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+
+EventId Engine::at(double t, EventFn fn) {
+  return queue_.schedule(std::max(t, now_), std::move(fn));
+}
+
+EventId Engine::after(double dt, EventFn fn) {
+  CS_CHECK_MSG(dt >= 0.0, "negative delay " << dt);
+  return queue_.schedule(now_ + dt, std::move(fn));
+}
+
+void Engine::run_until(double horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    const double t = queue_.next_time();
+    CS_CHECK_MSG(t >= now_, "time went backwards: " << t << " < " << now_);
+    now_ = t;
+    queue_.pop_and_run();
+    ++processed_;
+  }
+  now_ = std::max(now_, horizon);
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++processed_;
+  return true;
+}
+
+}  // namespace crusader::sim

@@ -1,0 +1,40 @@
+#pragma once
+// The simulation engine: owns the event queue and the notion of "now".
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace crusader::sim {
+
+class Engine {
+ public:
+  /// Absolute current real time. Starts at 0.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute real time `t >= now()` (events in the past are
+  /// clamped to now — callers assert separately when that matters).
+  EventId at(double t, EventFn fn);
+
+  /// Schedule `fn` after a relative delay `dt >= 0`.
+  EventId after(double dt, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue is empty or the next event is beyond `horizon`.
+  void run_until(double horizon);
+
+  /// Process a single event if one exists; returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace crusader::sim

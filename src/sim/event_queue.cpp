@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+
+EventId EventQueue::schedule(double t, EventFn fn) {
+  CS_CHECK_MSG(fn, "cannot schedule an empty event");
+  const EventId id = next_id_++;
+  fns_.push_back(std::move(fn));
+  heap_.push(Entry{t, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= fns_.size() || !fns_[id]) return false;
+  fns_[id] = nullptr;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() const {
+  drop_cancelled();
+  CS_CHECK(!heap_.empty());
+  return heap_.top().t;
+}
+
+double EventQueue::pop_and_run() {
+  drop_cancelled();
+  CS_CHECK(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  EventFn fn = std::move(fns_[top.id]);
+  fns_[top.id] = nullptr;
+  --live_;
+  CS_CHECK_MSG(fn, "popped a cancelled event");
+  fn();
+  return top.t;
+}
+
+std::size_t EventQueue::pending() const {
+  return live_;
+}
+
+}  // namespace crusader::sim

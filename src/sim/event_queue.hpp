@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic discrete-event queue: events ordered by (time, sequence).
+// Equal-time events fire in insertion order, which makes every run with the
+// same seed bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace crusader::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t`. Returns an id usable with cancel().
+  EventId schedule(double t, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (returns false).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  /// Time of the earliest pending event; requires !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Pops and runs the earliest event; returns its time. Requires !empty().
+  double pop_and_run();
+
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return next_id_; }
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Entry {
+    double t;
+    EventId id;
+    // Ordering for a max-heap std::priority_queue: we invert to get min-heap.
+    bool operator<(const Entry& other) const noexcept {
+      if (t != other.t) return t > other.t;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::vector<EventFn> fns_;  // indexed by id; empty fn == cancelled/fired
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace crusader::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Hardware clocks H_v : real time -> local time (Section 2 of the paper).
+//
+// Piecewise-linear, strictly increasing (all rates >= 1 > 0), hence exactly
+// invertible. The adversary chooses the trajectory subject to rates in
+// [1, vartheta]; builders below cover the assignments used by tests, benches
+// and the lower-bound construction.
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace crusader::sim {
+
+/// One linear segment: for t >= t0 (until the next segment's t0),
+/// H(t) = h0 + rate * (t - t0).
+struct ClockSegment {
+  double t0 = 0.0;
+  double h0 = 0.0;
+  double rate = 1.0;
+};
+
+class HardwareClock {
+ public:
+  /// Identity-rate clock starting at local offset `offset`.
+  [[nodiscard]] static HardwareClock constant(double rate, double offset);
+
+  /// Rate `rate_a` until real time `t_switch`, then `rate_b`. The two-phase
+  /// ramp used by the Theorem 5 construction is two_phase(ϑ, t*, 1, 0).
+  [[nodiscard]] static HardwareClock two_phase(double rate_a, double t_switch,
+                                               double rate_b, double offset);
+
+  /// Random-walk clock: rate re-drawn uniformly from [1, vartheta] every
+  /// `segment_len` real-time units, up to `horizon` (constant afterwards).
+  [[nodiscard]] static HardwareClock random_walk(util::Rng& rng, double vartheta,
+                                                 double offset, double segment_len,
+                                                 double horizon);
+
+  /// Construct from explicit segments (must be contiguous and increasing).
+  explicit HardwareClock(std::vector<ClockSegment> segments);
+
+  /// H_v(t).
+  [[nodiscard]] double local(double t) const;
+  /// H_v^{-1}(h): the unique real time at which the local clock reads h.
+  /// Requires h >= H_v(0).
+  [[nodiscard]] double real(double h) const;
+
+  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] double min_rate() const;
+  [[nodiscard]] double max_rate() const;
+  [[nodiscard]] double offset() const { return segments_.front().h0; }
+
+  /// Validates the model constraints: rates in [1, vartheta].
+  void check_valid(double vartheta) const;
+
+  [[nodiscard]] const std::vector<ClockSegment>& segments() const {
+    return segments_;
+  }
+
+ private:
+  // Index of the segment containing real time t (last segment extends to
+  // +infinity).
+  [[nodiscard]] std::size_t segment_for_real(double t) const;
+  [[nodiscard]] std::size_t segment_for_local(double h) const;
+
+  std::vector<ClockSegment> segments_;
+};
+
+}  // namespace crusader::sim

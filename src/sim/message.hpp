@@ -1,0 +1,44 @@
+#pragma once
+// The one message type shared by every protocol in this repository.
+//
+// A tagged struct (rather than std::variant) keeps the network layer,
+// knowledge tracker and traces protocol-agnostic; unused fields stay empty.
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "util/ids.hpp"
+
+namespace crusader::sim {
+
+enum class MsgKind : std::uint8_t {
+  kTcbSig,    // Timed Crusader Broadcast: ⟨r⟩_dealer (direct or echoed)
+  kLwPulse,   // Lynch–Welch: unsigned "I pulsed round r"
+  kStReady,   // Srikanth–Toueg: one signed ⟨ready r⟩
+  kStCert,    // Srikanth–Toueg: relayed certificate of ⟨ready r⟩ signatures
+  kRaw,       // free-form (tests, adversaries)
+};
+
+struct Message {
+  MsgKind kind = MsgKind::kRaw;
+  Round round = 0;
+  /// TCB: the dealer whose pulse this signature attests (the signer of `sig`).
+  NodeId dealer = kInvalidNode;
+  crypto::Signature sig;
+  std::vector<crypto::Signature> sigs;  // kStCert
+  double value = 0.0;                   // free-form payload
+  /// Stamped by the network on delivery: who handed this to the link.
+  NodeId sender = kInvalidNode;
+  /// Logical origin for nested simulations (e.g. the general-n Theorem-5
+  /// reduction, where one physical node simulates a group of protocol
+  /// nodes). Transport layers never touch this field.
+  NodeId origin = kInvalidNode;
+
+  [[nodiscard]] bool carries_signature() const noexcept {
+    return kind == MsgKind::kTcbSig || kind == MsgKind::kStReady ||
+           kind == MsgKind::kStCert;
+  }
+};
+
+}  // namespace crusader::sim

@@ -1,0 +1,45 @@
+#pragma once
+// The paper's network/clock model parameters (Section 2).
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+
+/// Parameters of the model: n nodes, at most f faulty, end-to-end delays in
+/// [d-u, d] between honest nodes and [d-u_tilde, d] on links with a faulty
+/// endpoint, hardware clock rates in [1, vartheta].
+struct ModelParams {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  double d = 1.0;
+  double u = 0.1;
+  double u_tilde = 0.1;
+  double vartheta = 1.02;
+
+  /// ⌈n/2⌉ - 1: optimal resilience with signatures (this paper).
+  [[nodiscard]] static std::uint32_t max_faults_signed(std::uint32_t n) noexcept {
+    return (n + 1) / 2 - 1;
+  }
+
+  /// ⌈n/3⌉ - 1: optimal resilience without signatures [13, 28].
+  [[nodiscard]] static std::uint32_t max_faults_plain(std::uint32_t n) noexcept {
+    return (n + 2) / 3 - 1;
+  }
+
+  void validate() const {
+    CS_CHECK_MSG(n >= 2, "need at least two nodes");
+    CS_CHECK_MSG(f < n, "f must be < n");
+    CS_CHECK_MSG(d > 0.0, "d must be positive");
+    CS_CHECK_MSG(u >= 0.0 && u <= d, "u must be in [0, d]");
+    CS_CHECK_MSG(u_tilde >= u && u_tilde <= d,
+                 "u_tilde must be in [u, d] (paper, Section 2)");
+    CS_CHECK_MSG(vartheta > 1.0, "vartheta must exceed 1");
+    // The TCB echo guard d - 2u must be positive for the acceptance logic
+    // (Figure 2) to be meaningful.
+    CS_CHECK_MSG(d > 2.0 * u, "model requires d > 2u for the echo guard");
+  }
+};
+
+}  // namespace crusader::sim

@@ -1,0 +1,117 @@
+#include "sim/network.hpp"
+
+#include <sstream>
+
+#include "sim/time.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace crusader::sim {
+
+std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind, std::uint32_t n) {
+  switch (kind) {
+    case DelayKind::kMax: return std::make_unique<MaxDelayPolicy>();
+    case DelayKind::kMin: return std::make_unique<MinDelayPolicy>();
+    case DelayKind::kRandom: return std::make_unique<RandomDelayPolicy>();
+    case DelayKind::kSplit: return std::make_unique<SplitDelayPolicy>(n);
+  }
+  CS_CHECK_MSG(false, "unknown delay kind");
+  return nullptr;
+}
+
+Network::Network(Engine& engine, ModelParams model, std::vector<bool> faulty,
+                 std::unique_ptr<DelayPolicy> policy, util::Rng rng,
+                 Enforcement enforcement)
+    : engine_(engine),
+      model_(model),
+      faulty_(std::move(faulty)),
+      policy_(std::move(policy)),
+      rng_(rng),
+      enforcement_(enforcement) {
+  model_.validate();
+  CS_CHECK(faulty_.size() == model_.n);
+  CS_CHECK(policy_ != nullptr);
+}
+
+double Network::min_delay(NodeId from, NodeId to) const {
+  const bool faulty_endpoint = faulty_.at(from) || faulty_.at(to);
+  return model_.d - (faulty_endpoint ? model_.u_tilde : model_.u);
+}
+
+void Network::flag(const std::string& what) {
+  if (enforcement_ == Enforcement::kThrow) throw util::ModelViolation(what);
+  violations_.push_back(what);
+  CS_WARN << "model violation recorded: " << what;
+}
+
+void Network::check_adversary_knowledge(NodeId from, const Message& m) {
+  if (!faulty_.at(from) || !m.carries_signature()) return;
+  auto check_one = [&](const crypto::Signature& sig) {
+    if (sig.signer == kInvalidNode) return;
+    if (faulty_.at(sig.signer)) return;  // own/colluding keys are always known
+    if (!knowledge_.knows(sig)) {
+      std::ostringstream oss;
+      oss << "faulty node " << from << " sent signature of honest node "
+          << sig.signer << " (payload " << sig.payload_hash
+          << ") before receiving it";
+      flag(oss.str());
+    }
+  };
+  check_one(m.sig);
+  for (const auto& s : m.sigs) check_one(s);
+}
+
+void Network::enqueue(NodeId from, NodeId to, Message m, double delay) {
+  CS_CHECK_MSG(to < model_.n, "recipient " << to << " out of range");
+  CS_CHECK_MSG(from != to, "self-sends are modeled as local computation");
+  m.sender = from;
+
+  ++stats_.messages;
+  ++stats_.by_kind[static_cast<std::size_t>(m.kind)];
+  if (m.sig.signer != kInvalidNode) ++stats_.signatures_carried;
+  stats_.signatures_carried += m.sigs.size();
+
+  const double deliver_at = engine_.now() + delay;
+  engine_.at(deliver_at, [this, to, msg = std::move(m)]() {
+    // The adversary learns every signature delivered to a faulty node
+    // (execution well-formedness rule, Section 2).
+    if (faulty_.at(to)) {
+      if (msg.sig.signer != kInvalidNode) knowledge_.learn(msg.sig);
+      for (const auto& s : msg.sigs) knowledge_.learn(s);
+    }
+    CS_CHECK_MSG(deliver_, "network delivery hook not installed");
+    deliver_(to, msg);
+  });
+}
+
+void Network::send(NodeId from, NodeId to, Message m) {
+  check_adversary_knowledge(from, m);
+  const double lo = min_delay(from, to);
+  const double hi = model_.d;
+  double delay = policy_->delay(from, to, engine_.now(), m, lo, hi, rng_);
+  if (delay < lo - kTimeEps || delay > hi + kTimeEps) {
+    std::ostringstream oss;
+    oss << "delay policy returned " << delay << " outside [" << lo << ", "
+        << hi << "]";
+    flag(oss.str());
+    delay = std::min(std::max(delay, lo), hi);
+  }
+  enqueue(from, to, std::move(m), delay);
+}
+
+void Network::send_with_delay(NodeId from, NodeId to, Message m, double delay) {
+  CS_CHECK_MSG(faulty_.at(from), "send_with_delay is a Byzantine capability");
+  check_adversary_knowledge(from, m);
+  const double lo = min_delay(from, to);
+  const double hi = model_.d;
+  if (delay < lo - kTimeEps || delay > hi + kTimeEps) {
+    std::ostringstream oss;
+    oss << "Byzantine node " << from << " requested delay " << delay
+        << " outside [" << lo << ", " << hi << "] toward node " << to;
+    flag(oss.str());
+    delay = std::min(std::max(delay, lo), hi);
+  }
+  enqueue(from, to, std::move(m), delay);
+}
+
+}  // namespace crusader::sim

@@ -1,0 +1,145 @@
+#pragma once
+// Fully connected message-passing network under adversarial delay control.
+//
+// The adversary chooses every delay within the model bounds: [d-u, d] when
+// both endpoints are honest, [d-u_tilde, d] when either endpoint is faulty
+// (Section 2 of the paper; u_tilde in [u, d]). The network also enforces the
+// Dolev–Yao restriction: a faulty node may only send an honest node's
+// signature after some faulty node has received it.
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+#include "sim/model.hpp"
+#include "util/rng.hpp"
+
+namespace crusader::sim {
+
+/// Chooses a delay in [lo, hi] for each message. Implementations are the
+/// adversary's delay strategy.
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+  [[nodiscard]] virtual double delay(NodeId from, NodeId to, double send_time,
+                                     const Message& m, double lo, double hi,
+                                     util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Every message takes the maximum delay d.
+class MaxDelayPolicy final : public DelayPolicy {
+ public:
+  double delay(NodeId, NodeId, double, const Message&, double, double hi,
+               util::Rng&) override {
+    return hi;
+  }
+  [[nodiscard]] std::string name() const override { return "max"; }
+};
+
+/// Every message takes the minimum allowed delay.
+class MinDelayPolicy final : public DelayPolicy {
+ public:
+  double delay(NodeId, NodeId, double, const Message&, double lo, double,
+               util::Rng&) override {
+    return lo;
+  }
+  [[nodiscard]] std::string name() const override { return "min"; }
+};
+
+/// Uniformly random delay in [lo, hi] (jitter).
+class RandomDelayPolicy final : public DelayPolicy {
+ public:
+  double delay(NodeId, NodeId, double, const Message&, double lo, double hi,
+               util::Rng& rng) override {
+    return rng.uniform(lo, hi);
+  }
+  [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+/// Coordinated split: receivers with id < n/2 get minimum delay, the rest get
+/// maximum — the classic worst case for averaging-based synchronizers,
+/// because it systematically biases offset estimates apart.
+class SplitDelayPolicy final : public DelayPolicy {
+ public:
+  explicit SplitDelayPolicy(std::uint32_t n) : half_(n / 2) {}
+  double delay(NodeId, NodeId to, double, const Message&, double lo, double hi,
+               util::Rng&) override {
+    return to < half_ ? lo : hi;
+  }
+  [[nodiscard]] std::string name() const override { return "split"; }
+
+ private:
+  std::uint32_t half_;
+};
+
+enum class DelayKind { kMax, kMin, kRandom, kSplit };
+
+[[nodiscard]] std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind,
+                                                             std::uint32_t n);
+
+/// How model violations by adversary code are handled.
+enum class Enforcement {
+  kThrow,   // throw ModelViolation (tests assert legality of adversaries)
+  kRecord,  // record in violations() and deliver anyway (failure injection)
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::array<std::uint64_t, 5> by_kind{};  // indexed by MsgKind
+  std::uint64_t signatures_carried = 0;
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(NodeId to, const Message&)>;
+
+  Network(Engine& engine, ModelParams model, std::vector<bool> faulty,
+          std::unique_ptr<DelayPolicy> policy, util::Rng rng,
+          Enforcement enforcement = Enforcement::kThrow);
+
+  /// World installs the delivery hook (runner dispatch).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Standard send: the delay policy picks the delay within model bounds.
+  void send(NodeId from, NodeId to, Message m);
+
+  /// Byzantine send with an explicit delay; must lie within the faulty-link
+  /// bounds [d - u_tilde, d].
+  void send_with_delay(NodeId from, NodeId to, Message m, double delay);
+
+  [[nodiscard]] bool is_faulty(NodeId v) const { return faulty_.at(v); }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] crypto::KnowledgeTracker& knowledge() noexcept {
+    return knowledge_;
+  }
+
+  /// Lower delay bound for the (from, to) link per the model.
+  [[nodiscard]] double min_delay(NodeId from, NodeId to) const;
+
+ private:
+  void check_adversary_knowledge(NodeId from, const Message& m);
+  void enqueue(NodeId from, NodeId to, Message m, double delay);
+  void flag(const std::string& what);
+
+  Engine& engine_;
+  ModelParams model_;
+  std::vector<bool> faulty_;
+  std::unique_ptr<DelayPolicy> policy_;
+  util::Rng rng_;
+  Enforcement enforcement_;
+  DeliverFn deliver_;
+  crypto::KnowledgeTracker knowledge_;
+  NetworkStats stats_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace crusader::sim

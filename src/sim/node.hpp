@@ -1,0 +1,36 @@
+#pragma once
+// Protocol node interface (event-driven, local-time based).
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/env.hpp"
+#include "sim/message.hpp"
+
+namespace crusader::sim {
+
+class PulseNode {
+ public:
+  virtual ~PulseNode() = default;
+
+  /// Called once when the simulation starts (local time = H_v(0)).
+  virtual void on_start(Env& env) = 0;
+
+  /// Called when a message is delivered (processing completes at delivery
+  /// time; the model's delay d already covers processing).
+  virtual void on_message(Env& env, const Message& m) = 0;
+
+  /// Called when a timer scheduled via Env::schedule_at_local fires.
+  virtual void on_timer(Env& env, std::uint64_t tag) = 0;
+};
+
+/// Byzantine node: same shape, but receives an AdversaryEnv.
+class ByzantineNode {
+ public:
+  virtual ~ByzantineNode() = default;
+  virtual void on_start(AdversaryEnv& env) = 0;
+  virtual void on_message(AdversaryEnv& env, const Message& m) = 0;
+  virtual void on_timer(AdversaryEnv& env, std::uint64_t tag) = 0;
+};
+
+}  // namespace crusader::sim

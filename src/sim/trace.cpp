@@ -1,0 +1,116 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+
+PulseTrace::PulseTrace(std::uint32_t n, std::vector<bool> faulty)
+    : pulses_(n), faulty_(std::move(faulty)) {
+  CS_CHECK(faulty_.size() == n);
+}
+
+void PulseTrace::record(NodeId v, double real_time, double local_time) {
+  CS_CHECK(v < pulses_.size());
+  auto& vec = pulses_[v];
+  CS_CHECK_MSG(vec.empty() || vec.back().real_time <= real_time,
+               "pulses of node " << v << " must be monotone in time");
+  vec.push_back(PulseEvent{real_time, local_time});
+}
+
+double PulseTrace::pulse_time(NodeId v, std::size_t r) const {
+  CS_CHECK(v < pulses_.size());
+  CS_CHECK_MSG(r < pulses_[v].size(),
+               "node " << v << " has only " << pulses_[v].size() << " pulses");
+  return pulses_[v][r].real_time;
+}
+
+std::vector<NodeId> PulseTrace::honest() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < pulses_.size(); ++v)
+    if (!faulty_[v]) out.push_back(v);
+  return out;
+}
+
+std::size_t PulseTrace::complete_rounds() const {
+  std::size_t m = std::numeric_limits<std::size_t>::max();
+  bool any = false;
+  for (NodeId v = 0; v < pulses_.size(); ++v) {
+    if (faulty_[v]) continue;
+    m = std::min(m, pulses_[v].size());
+    any = true;
+  }
+  return any ? m : 0;
+}
+
+double PulseTrace::skew(std::size_t r) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < pulses_.size(); ++v) {
+    if (faulty_[v]) continue;
+    const double t = pulse_time(v, r);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  CS_CHECK_MSG(lo <= hi, "no honest nodes in trace");
+  return hi - lo;
+}
+
+double PulseTrace::max_skew(std::size_t from) const {
+  const std::size_t rounds = complete_rounds();
+  double worst = 0.0;
+  for (std::size_t r = from; r < rounds; ++r) worst = std::max(worst, skew(r));
+  return worst;
+}
+
+std::vector<double> PulseTrace::skews() const {
+  const std::size_t rounds = complete_rounds();
+  std::vector<double> out;
+  out.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) out.push_back(skew(r));
+  return out;
+}
+
+double PulseTrace::min_period() const {
+  const std::size_t rounds = complete_rounds();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r + 1 < rounds; ++r) {
+    double next_min = std::numeric_limits<double>::infinity();
+    double cur_max = -std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < pulses_.size(); ++v) {
+      if (faulty_[v]) continue;
+      next_min = std::min(next_min, pulse_time(v, r + 1));
+      cur_max = std::max(cur_max, pulse_time(v, r));
+    }
+    best = std::min(best, next_min - cur_max);
+  }
+  return best;
+}
+
+double PulseTrace::max_period() const {
+  const std::size_t rounds = complete_rounds();
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r + 1 < rounds; ++r) {
+    double next_max = -std::numeric_limits<double>::infinity();
+    double cur_min = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < pulses_.size(); ++v) {
+      if (faulty_[v]) continue;
+      next_max = std::max(next_max, pulse_time(v, r + 1));
+      cur_min = std::min(cur_min, pulse_time(v, r));
+    }
+    worst = std::max(worst, next_max - cur_min);
+  }
+  return worst;
+}
+
+bool PulseTrace::live(std::size_t rounds) const {
+  for (NodeId v = 0; v < pulses_.size(); ++v) {
+    if (faulty_[v]) continue;
+    if (pulses_[v].size() < rounds) return false;
+  }
+  return true;
+}
+
+}  // namespace crusader::sim

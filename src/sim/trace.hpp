@@ -1,0 +1,65 @@
+#pragma once
+// Pulse traces and the Definition-3 quality metrics computed from them:
+// skew, minimum period, maximum period, liveness.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace crusader::sim {
+
+struct PulseEvent {
+  double real_time = 0.0;
+  double local_time = 0.0;
+};
+
+class PulseTrace {
+ public:
+  /// Empty trace (0 nodes); useful as a default before a run completes.
+  PulseTrace() = default;
+  PulseTrace(std::uint32_t n, std::vector<bool> faulty);
+
+  void record(NodeId v, double real_time, double local_time);
+
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(pulses_.size());
+  }
+  [[nodiscard]] bool is_faulty(NodeId v) const { return faulty_.at(v); }
+  [[nodiscard]] std::size_t pulse_count(NodeId v) const {
+    return pulses_.at(v).size();
+  }
+  /// Real time of v's (0-based) pulse r.
+  [[nodiscard]] double pulse_time(NodeId v, std::size_t r) const;
+  [[nodiscard]] const std::vector<PulseEvent>& pulses(NodeId v) const {
+    return pulses_.at(v);
+  }
+
+  /// Number of complete pulse rounds: min over honest nodes of pulse_count.
+  [[nodiscard]] std::size_t complete_rounds() const;
+
+  /// max_{v,w honest} |p_{v,r} - p_{w,r}| for 0-based round r.
+  [[nodiscard]] double skew(std::size_t r) const;
+
+  /// Maximum skew over complete rounds in [from, complete_rounds()).
+  [[nodiscard]] double max_skew(std::size_t from = 0) const;
+
+  /// All per-round skews over complete rounds.
+  [[nodiscard]] std::vector<double> skews() const;
+
+  /// Definition 3: inf_r ( min_v p_{v,r+1} - max_v p_{v,r} ) over honest v.
+  [[nodiscard]] double min_period() const;
+  /// Definition 3: sup_r ( max_v p_{v,r+1} - min_v p_{v,r} ) over honest v.
+  [[nodiscard]] double max_period() const;
+
+  /// Liveness check: every honest node produced at least `rounds` pulses.
+  [[nodiscard]] bool live(std::size_t rounds) const;
+
+  [[nodiscard]] std::vector<NodeId> honest() const;
+
+ private:
+  std::vector<std::vector<PulseEvent>> pulses_;
+  std::vector<bool> faulty_;
+};
+
+}  // namespace crusader::sim

@@ -1,0 +1,39 @@
+#include "sim/trace_io.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace crusader::sim {
+
+void write_pulses_csv(const PulseTrace& trace, std::ostream& os) {
+  os << "node,role,round,real_time,local_time\n";
+  os << std::setprecision(12);
+  for (NodeId v = 0; v < trace.n(); ++v) {
+    const auto& pulses = trace.pulses(v);
+    for (std::size_t r = 0; r < pulses.size(); ++r) {
+      os << v << ',' << (trace.is_faulty(v) ? "faulty" : "honest") << ','
+         << (r + 1) << ',' << pulses[r].real_time << ','
+         << pulses[r].local_time << '\n';
+    }
+  }
+}
+
+void write_rounds_csv(const PulseTrace& trace, std::ostream& os) {
+  os << "round,skew,min_pulse,max_pulse\n";
+  os << std::setprecision(12);
+  const std::size_t rounds = trace.complete_rounds();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < trace.n(); ++v) {
+      if (trace.is_faulty(v)) continue;
+      const double t = trace.pulse_time(v, r);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    os << (r + 1) << ',' << (hi - lo) << ',' << lo << ',' << hi << '\n';
+  }
+}
+
+}  // namespace crusader::sim

@@ -1,0 +1,106 @@
+#include "sync/crusader_broadcast.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace crusader::sync {
+
+CbInstance::CbInstance(NodeId self, NodeId dealer, Round tag, crypto::Pki& pki)
+    : self_(self), dealer_(dealer), tag_(tag), pki_(pki) {}
+
+bool CbInstance::valid(const SignedValue& entry) const {
+  if (entry.dealer != dealer_) return false;
+  if (entry.sig.signer != dealer_) return false;
+  return pki_.verify(entry.sig,
+                     crypto::make_value_payload(tag_, dealer_, entry.value));
+}
+
+void CbInstance::absorb(const SignedValue& entry) {
+  if (!valid(entry)) return;
+  if (std::find(valid_values_.begin(), valid_values_.end(), entry.value) ==
+      valid_values_.end()) {
+    valid_values_.push_back(entry.value);
+  }
+}
+
+std::optional<SignedValue> CbInstance::make_broadcast(double input) {
+  CS_CHECK_MSG(self_ == dealer_, "only the dealer broadcasts in round 0");
+  SignedValue entry;
+  entry.dealer = dealer_;
+  entry.value = input;
+  entry.sig = pki_.sign(self_, crypto::make_value_payload(tag_, dealer_, input));
+  return entry;
+}
+
+void CbInstance::on_direct(const SignedValue& entry) {
+  // Keep the first direct message only; duplicates from a faulty dealer still
+  // feed the conflict set.
+  if (!direct_.has_value()) direct_ = entry;
+  absorb(entry);
+}
+
+std::optional<SignedValue> CbInstance::make_echo() const {
+  return direct_;
+}
+
+void CbInstance::on_echo(NodeId /*from*/, const SignedValue& entry) {
+  absorb(entry);
+}
+
+CbOutput CbInstance::output() const {
+  // ⊥ on conflicting validly-signed values (first bullet of Figure 4).
+  if (valid_values_.size() > 1) return std::nullopt;
+  // ⊥ if the direct message is missing or carries an invalid signature
+  // (second bullet).
+  if (!direct_.has_value() || !valid(*direct_)) return std::nullopt;
+  return direct_->value;
+}
+
+// --- Standalone SyncProtocol wrapper ----------------------------------------
+
+CrusaderBroadcastNode::CrusaderBroadcastNode(NodeId self, NodeId dealer,
+                                             Round tag, std::uint32_t n,
+                                             crypto::Pki& pki,
+                                             std::optional<double> input)
+    : instance_(self, dealer, tag, pki), n_(n), input_(input) {
+  if (self == dealer)
+    CS_CHECK_MSG(input_.has_value(), "dealer needs an input");
+}
+
+Outbox CrusaderBroadcastNode::send(std::uint32_t round) {
+  Outbox out;
+  if (round == 0) {
+    if (input_.has_value()) {
+      const auto entry = instance_.make_broadcast(*input_);
+      if (entry) {
+        for (NodeId to = 0; to < n_; ++to) out[to].entries.push_back(*entry);
+      }
+    }
+  } else if (round == 1) {
+    if (const auto echo = instance_.make_echo()) {
+      for (NodeId to = 0; to < n_; ++to) out[to].entries.push_back(*echo);
+    }
+  }
+  return out;
+}
+
+void CrusaderBroadcastNode::receive(std::uint32_t round, const Inbox& inbox) {
+  if (round == 0) {
+    const auto it = inbox.find(instance_.dealer());
+    if (it != inbox.end()) {
+      for (const auto& entry : it->second.entries) instance_.on_direct(entry);
+    }
+  } else if (round == 1) {
+    for (const auto& [from, m] : inbox)
+      for (const auto& entry : m.entries) instance_.on_echo(from, entry);
+    done_ = true;
+  }
+}
+
+CbOutput CrusaderBroadcastNode::output() const {
+  CS_CHECK_MSG(done_, "output queried before round 1 completed");
+  return instance_.output();
+}
+
+}  // namespace crusader::sync

@@ -1,0 +1,169 @@
+#include "sync/sync_adversary.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace crusader::sync {
+
+SyncAdversaryBase::SyncAdversaryBase(std::vector<NodeId> faulty_ids,
+                                     std::uint32_t n, crypto::Pki& pki,
+                                     Round tag_base)
+    : faulty_ids_(std::move(faulty_ids)), n_(n), pki_(pki),
+      tag_base_(tag_base) {}
+
+std::vector<double> SyncAdversaryBase::honest_values(
+    const std::vector<Outbox>& honest_outboxes) const {
+  std::vector<double> values;
+  for (const auto& outbox : honest_outboxes) {
+    if (outbox.empty()) continue;  // faulty slot or silent node
+    // A phase-0 APA outbox carries the same single entry to everyone; read
+    // the first recipient's copy.
+    const auto& m = outbox.begin()->second;
+    for (const auto& entry : m.entries) values.push_back(entry.value);
+  }
+  return values;
+}
+
+SignedValue SyncAdversaryBase::make_signed(NodeId dealer, Round iteration,
+                                           double value,
+                                           std::uint64_t nonce) const {
+  SignedValue entry;
+  entry.dealer = dealer;
+  entry.value = value;
+  entry.sig = pki_.sign(dealer,
+                        crypto::make_value_payload(iteration, dealer, value),
+                        nonce);
+  return entry;
+}
+
+// --- Silent ------------------------------------------------------------------
+
+std::map<NodeId, Outbox> SilentSyncAdversary::act(
+    std::uint32_t /*round*/, const std::vector<Outbox>& /*honest*/) {
+  return {};
+}
+
+// --- Equivocator --------------------------------------------------------------
+
+std::map<NodeId, Outbox> EquivocatorSyncAdversary::act(
+    std::uint32_t round, const std::vector<Outbox>& honest) {
+  std::map<NodeId, Outbox> out;
+  if (round % 2 != 0) return out;  // echo nothing: honest echoes expose us
+
+  const std::vector<double> values = honest_values(honest);
+  if (values.empty()) return out;
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const Round tag = tag_for(round);
+
+  for (NodeId bad : faulty_ids_) {
+    const SignedValue low_entry = make_signed(bad, tag, lo - 1.0);
+    const SignedValue high_entry = make_signed(bad, tag, hi + 1.0);
+    Outbox outbox;
+    for (NodeId to = 0; to < n_; ++to) {
+      outbox[to].entries.push_back(to % 2 == 0 ? low_entry : high_entry);
+    }
+    out[bad] = std::move(outbox);
+  }
+  return out;
+}
+
+// --- Consistent extreme --------------------------------------------------------
+
+ExtremePullSyncAdversary::ExtremePullSyncAdversary(
+    std::vector<NodeId> faulty_ids, std::uint32_t n, crypto::Pki& pki,
+    double pull, Round tag_base)
+    : SyncAdversaryBase(std::move(faulty_ids), n, pki, tag_base), pull_(pull) {}
+
+std::map<NodeId, Outbox> ExtremePullSyncAdversary::act(
+    std::uint32_t round, const std::vector<Outbox>& honest) {
+  std::map<NodeId, Outbox> out;
+  if (round % 2 != 0) return out;
+
+  const std::vector<double> values = honest_values(honest);
+  if (values.empty()) return out;
+  const double lo = *std::min_element(values.begin(), values.end());
+  const Round tag = tag_for(round);
+
+  for (NodeId bad : faulty_ids_) {
+    const SignedValue entry = make_signed(bad, tag, lo - pull_);
+    Outbox outbox;
+    for (NodeId to = 0; to < n_; ++to) outbox[to].entries.push_back(entry);
+    out[bad] = std::move(outbox);
+  }
+  return out;
+}
+
+// --- Partial delivery ----------------------------------------------------------
+
+std::map<NodeId, Outbox> PartialSyncAdversary::act(
+    std::uint32_t round, const std::vector<Outbox>& honest) {
+  std::map<NodeId, Outbox> out;
+  if (round % 2 != 0) return out;
+
+  const std::vector<double> values = honest_values(honest);
+  if (values.empty()) return out;
+  const double hi = *std::max_element(values.begin(), values.end());
+  const Round tag = tag_for(round);
+
+  for (NodeId bad : faulty_ids_) {
+    const SignedValue entry = make_signed(bad, tag, hi);
+    Outbox outbox;
+    // Deliver only to the upper half of the id space; the rest see ⊥.
+    for (NodeId to = n_ / 2; to < n_; ++to) outbox[to].entries.push_back(entry);
+    out[bad] = std::move(outbox);
+  }
+  return out;
+}
+
+// --- Random mix ----------------------------------------------------------------
+
+RandomSyncAdversary::RandomSyncAdversary(std::vector<NodeId> faulty_ids,
+                                         std::uint32_t n, crypto::Pki& pki,
+                                         std::uint64_t seed, Round tag_base)
+    : SyncAdversaryBase(std::move(faulty_ids), n, pki, tag_base), rng_(seed) {}
+
+std::map<NodeId, Outbox> RandomSyncAdversary::act(
+    std::uint32_t round, const std::vector<Outbox>& honest) {
+  std::map<NodeId, Outbox> out;
+  if (round % 2 != 0) return out;
+
+  const std::vector<double> values = honest_values(honest);
+  if (values.empty()) return out;
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const Round tag = tag_for(round);
+
+  for (NodeId bad : faulty_ids_) {
+    Outbox outbox;
+    switch (rng_.below(4)) {
+      case 0:
+        break;  // silent
+      case 1: {  // consistent random value within (stretched) honest range
+        const double v = rng_.uniform(lo - 1.0, hi + 1.0);
+        const SignedValue entry = make_signed(bad, tag, v);
+        for (NodeId to = 0; to < n_; ++to) outbox[to].entries.push_back(entry);
+        break;
+      }
+      case 2: {  // equivocate with two random values
+        const SignedValue a = make_signed(bad, tag, rng_.uniform(lo - 2.0, hi));
+        const SignedValue b = make_signed(bad, tag, rng_.uniform(lo, hi + 2.0));
+        for (NodeId to = 0; to < n_; ++to)
+          outbox[to].entries.push_back(rng_.chance(0.5) ? a : b);
+        break;
+      }
+      case 3: {  // partial delivery
+        const SignedValue entry = make_signed(bad, tag, rng_.uniform(lo, hi));
+        for (NodeId to = 0; to < n_; ++to)
+          if (rng_.chance(0.5)) outbox[to].entries.push_back(entry);
+        break;
+      }
+    }
+    if (!outbox.empty()) out[bad] = std::move(outbox);
+  }
+  return out;
+}
+
+}  // namespace crusader::sync

@@ -1,0 +1,94 @@
+#include "sync/sync_net.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace crusader::sync {
+
+SyncNetwork::SyncNetwork(std::uint32_t n, std::vector<bool> faulty,
+                         crypto::Pki& pki)
+    : n_(n), faulty_(std::move(faulty)), pki_(pki), protocols_(n, nullptr) {
+  CS_CHECK(faulty_.size() == n_);
+  (void)pki_;
+}
+
+void SyncNetwork::set_protocol(NodeId v, SyncProtocol* protocol) {
+  CS_CHECK(v < n_);
+  CS_CHECK_MSG(!faulty_[v], "protocols attach to honest nodes only");
+  protocols_[v] = protocol;
+}
+
+void SyncNetwork::set_adversary(RushingAdversary* adversary) {
+  adversary_ = adversary;
+}
+
+void SyncNetwork::check_knowledge(const RoundMessage& m) const {
+  for (const auto& entry : m.entries) {
+    const auto& sig = entry.sig;
+    if (sig.signer == kInvalidNode) continue;
+    if (faulty_.at(sig.signer)) continue;
+    if (!knowledge_.knows(sig)) {
+      std::ostringstream oss;
+      oss << "rushing adversary used honest signature of node " << sig.signer
+          << " it has not seen";
+      throw util::ModelViolation(oss.str());
+    }
+  }
+}
+
+void SyncNetwork::run_round() {
+  // 1. Honest nodes produce outboxes.
+  std::vector<Outbox> outboxes(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (faulty_[v]) continue;
+    CS_CHECK_MSG(protocols_[v] != nullptr, "node " << v << " has no protocol");
+    outboxes[v] = protocols_[v]->send(round_);
+  }
+
+  // 2. Rushing: the adversary observes all honest messages of this round
+  //    (worst case: including honest-to-honest traffic) before acting.
+  for (NodeId v = 0; v < n_; ++v) {
+    if (faulty_[v]) continue;
+    for (const auto& [to, m] : outboxes[v])
+      for (const auto& entry : m.entries) knowledge_.learn(entry.sig);
+  }
+
+  std::map<NodeId, Outbox> faulty_outboxes;
+  if (adversary_ != nullptr) {
+    faulty_outboxes = adversary_->act(round_, outboxes);
+    for (auto& [from, outbox] : faulty_outboxes) {
+      CS_CHECK_MSG(from < n_ && faulty_[from],
+                   "adversary answered for non-faulty node " << from);
+      for (const auto& [to, m] : outbox) check_knowledge(m);
+    }
+  }
+
+  // 3. Deliver.
+  std::vector<Inbox> inboxes(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    if (faulty_[v]) continue;
+    for (const auto& [to, m] : outboxes[v]) {
+      CS_CHECK(to < n_);
+      inboxes[to][v] = m;
+    }
+  }
+  for (const auto& [from, outbox] : faulty_outboxes) {
+    for (const auto& [to, m] : outbox) {
+      CS_CHECK(to < n_);
+      inboxes[to][from] = m;
+    }
+  }
+
+  for (NodeId v = 0; v < n_; ++v) {
+    if (faulty_[v]) continue;
+    protocols_[v]->receive(round_, inboxes[v]);
+  }
+  ++round_;
+}
+
+void SyncNetwork::run_rounds(std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) run_round();
+}
+
+}  // namespace crusader::sync

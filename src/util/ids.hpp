@@ -1,0 +1,18 @@
+#pragma once
+// Shared identifier types for the whole library.
+
+#include <cstdint>
+#include <limits>
+
+namespace crusader {
+
+/// Index of a node in [0, n). The paper's [n].
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Pulse / iteration number, the paper's r. 1-based in reports, 0-based in
+/// internal storage; conversions are localized in sim::PulseTrace.
+using Round = std::uint64_t;
+
+}  // namespace crusader

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+namespace crusader::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace crusader::util

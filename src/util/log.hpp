@@ -1,0 +1,47 @@
+#pragma once
+// Minimal leveled logger. Disabled by default so tests/benches stay quiet;
+// examples and debugging turn it on.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace crusader::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a line at `level` (thread-unsafe by design: the simulator is
+/// single-threaded; benches run worlds sequentially).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, oss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace crusader::util
+
+#define CS_LOG(level)                                              \
+  if (::crusader::util::log_level() <= ::crusader::util::level)    \
+  ::crusader::util::detail::LogStream(::crusader::util::level)
+
+#define CS_DEBUG CS_LOG(LogLevel::kDebug)
+#define CS_INFO CS_LOG(LogLevel::kInfo)
+#define CS_WARN CS_LOG(LogLevel::kWarn)
+#define CS_ERROR CS_LOG(LogLevel::kError)

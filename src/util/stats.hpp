@@ -1,0 +1,74 @@
+#pragma once
+// Statistics helpers used by tests and benchmark tables.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace crusader::util {
+
+/// Streaming min/max/mean/variance (Welford). O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Merge another accumulator into this one (parallel-safe combination).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with exact quantiles (stores all values; fine at the
+/// scales we simulate).
+class Samples {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Quantile q in [0,1], linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+/// Least-squares fit y = a + b*x. Used by E8 to verify skew grows linearly
+/// in u and in (vartheta-1)*d.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+[[nodiscard]] LinearFit fit_linear(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+}  // namespace crusader::util

@@ -1,0 +1,128 @@
+// Online logical clock service: monotonicity, pulse anchoring, and bounded
+// cross-node divergence — readable live, unlike the offline view.
+
+#include "core/clock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cps.hpp"
+#include "helpers.hpp"
+
+namespace crusader::core {
+namespace {
+
+using baselines::ProtocolKind;
+
+struct ServiceWorld {
+  std::vector<ClockService*> services;
+  std::unique_ptr<sim::World> world;
+  core::CpsParams params;
+};
+
+ServiceWorld make_world(std::uint32_t n, std::uint32_t f_actual,
+                        std::uint64_t seed, double tick,
+                        double nominal_factor) {
+  const auto model = crusader::testing::small_model(
+      n, sim::ModelParams::max_faults_signed(n));
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+
+  ServiceWorld out;
+  out.params = setup.cps;
+  out.services.resize(n, nullptr);
+  const double nominal = nominal_factor * setup.cps.p_min;
+
+  CpsConfig cps;
+  cps.params = setup.cps;
+  sim::HonestFactory honest = [&out, cps, tick, nominal](NodeId v) {
+    auto service = std::make_unique<ClockService>(
+        std::make_unique<CpsNode>(cps), tick, nominal);
+    out.services[v] = service.get();
+    return service;
+  };
+  sim::ByzantineFactory byz;
+  if (f_actual > 0)
+    byz = make_byzantine_factory(ByzStrategy::kRandom, honest, seed);
+  auto config = crusader::testing::world_config(model, setup, 20, seed);
+  config.faulty = sim::default_faulty_set(f_actual);
+  out.world = std::make_unique<sim::World>(config, honest, byz);
+  return out;
+}
+
+TEST(ClockService, MonotoneUnderStepping) {
+  auto sw = make_world(4, 0, 3, /*tick=*/100.0, /*nominal_factor=*/1.0);
+  std::vector<double> last(4, -1.0);
+  // Step the engine manually and probe the live readings as we go.
+  sw.world->start();
+  auto& engine = sw.world->engine();
+  for (int slice = 1; slice <= 40; ++slice) {
+    engine.run_until(slice * 2.0);
+    for (NodeId v = 0; v < 4; ++v) {
+      if (sw.services[v] == nullptr) continue;
+      const double reading = sw.services[v]->read();
+      EXPECT_GE(reading, last[v] - 1e-9) << "node " << v;
+      last[v] = reading;
+    }
+  }
+}
+
+TEST(ClockService, ReadsZeroBeforeFirstPulse) {
+  auto sw = make_world(4, 0, 5, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(sw.services[0]->read(), 0.0);
+}
+
+TEST(ClockService, TracksPulseCount) {
+  auto sw = make_world(4, 1, 7, 10.0, 1.0);
+  (void)sw.world->run();
+  for (NodeId v = 1; v < 4; ++v) {
+    ASSERT_NE(sw.services[v], nullptr);
+    EXPECT_GE(sw.services[v]->pulses_seen(), 18u);
+    // After the run, the reading reflects the last pulse plus at most one
+    // full tick of interpolation.
+    const double reading = sw.services[v]->read();
+    const double pulses =
+        static_cast<double>(sw.services[v]->pulses_seen());
+    EXPECT_GE(reading, 10.0 * (pulses - 1) - 1e-9);
+    EXPECT_LE(reading, 10.0 * pulses + 1e-9);
+  }
+}
+
+TEST(ClockService, CrossNodeDivergenceBounded) {
+  auto sw = make_world(5, 2, 11, /*tick=*/100.0, /*nominal_factor=*/1.0);
+  sw.world->start();
+  auto& engine = sw.world->engine();
+  const double nominal = sw.params.p_min;
+  // Analytic online bound: Λ·(1 + (S + (P_max − T_nom))/T_nom).
+  const double bound =
+      100.0 * (1.0 + (sw.params.S + (sw.params.p_max - nominal)) / nominal);
+
+  double worst = 0.0;
+  for (int slice = 1; slice <= 120; ++slice) {
+    engine.run_until(slice * 0.75);
+    double lo = 1e300, hi = -1e300;
+    bool all_started = true;
+    for (NodeId v = 2; v < 5; ++v) {  // honest nodes
+      if (sw.services[v]->pulses_seen() == 0) all_started = false;
+      const double reading = sw.services[v]->read();
+      lo = std::min(lo, reading);
+      hi = std::max(hi, reading);
+    }
+    if (all_started) worst = std::max(worst, hi - lo);
+  }
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LE(worst, bound + 1e-6);
+}
+
+TEST(ClockService, RejectsBadParameters) {
+  CpsConfig cps;
+  cps.params = baselines::make_setup(
+                   ProtocolKind::kCps,
+                   crusader::testing::small_model(4, 1)).cps;
+  EXPECT_THROW(ClockService(std::make_unique<CpsNode>(cps), 0.0, 1.0),
+               util::CheckFailure);
+  EXPECT_THROW(ClockService(std::make_unique<CpsNode>(cps), 1.0, -1.0),
+               util::CheckFailure);
+  EXPECT_THROW(ClockService(nullptr, 1.0, 1.0), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::core

@@ -1,0 +1,172 @@
+// Tests for Figure 3 (Crusader Pulse Synchronization) — Theorem 17:
+// skew ≤ S, liveness, and the period bounds, in fault-free worlds across
+// clock assignments and delay policies.
+
+#include "core/cps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace crusader::core {
+namespace {
+
+using baselines::ProtocolKind;
+using testing_ns = ::testing::Test;
+
+struct FaultFreeCase {
+  std::uint32_t n;
+  sim::ClockKind clocks;
+  sim::DelayKind delays;
+  std::uint64_t seed;
+};
+
+class CpsFaultFree : public ::testing::TestWithParam<FaultFreeCase> {};
+
+TEST_P(CpsFaultFree, Theorem17Holds) {
+  const auto c = GetParam();
+  const auto model = crusader::testing::small_model(
+      c.n, sim::ModelParams::max_faults_signed(c.n));
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  ASSERT_TRUE(setup.feasible);
+
+  const std::size_t rounds = 25;
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, /*f_actual=*/0, ByzStrategy::kCrash, c.seed,
+      rounds, c.clocks, c.delays);
+
+  // Liveness.
+  ASSERT_TRUE(result.trace.live(rounds)) << "only "
+                                         << result.trace.complete_rounds();
+  EXPECT_TRUE(result.violations.empty());
+
+  // S-bounded skew for every round.
+  const double S = setup.cps.S;
+  EXPECT_LE(result.trace.max_skew(), S + 1e-9);
+
+  // Period bounds of Theorem 17.
+  EXPECT_GE(result.trace.min_period(), setup.cps.p_min - 1e-9);
+  EXPECT_LE(result.trace.max_period(), setup.cps.p_max + 1e-9);
+}
+
+std::vector<FaultFreeCase> fault_free_cases() {
+  std::vector<FaultFreeCase> cases;
+  std::uint64_t seed = 100;
+  for (std::uint32_t n : {2u, 3u, 5u, 8u}) {
+    for (auto clocks : {sim::ClockKind::kNominal, sim::ClockKind::kSpread,
+                        sim::ClockKind::kRandomWalk}) {
+      for (auto delays : {sim::DelayKind::kMax, sim::DelayKind::kMin,
+                          sim::DelayKind::kRandom, sim::DelayKind::kSplit}) {
+        if (n > 3 && clocks == sim::ClockKind::kNominal &&
+            delays != sim::DelayKind::kSplit)
+          continue;  // keep the grid lean
+        cases.push_back(FaultFreeCase{n, clocks, delays, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CpsFaultFree, ::testing::ValuesIn(fault_free_cases()),
+    [](const ::testing::TestParamInfo<FaultFreeCase>& info) {
+      const auto& c = info.param;
+      return "n" + std::to_string(c.n) + "_c" +
+             std::to_string(static_cast<int>(c.clocks)) + "_d" +
+             std::to_string(static_cast<int>(c.delays)) + "_s" +
+             std::to_string(c.seed);
+    });
+
+TEST(Cps, SkewConvergesBelowSteadyState) {
+  // Start with maximal initial offsets; skew should contract towards the
+  // steady-state band (≈ δ-level), visibly below the initial S.
+  const auto model = crusader::testing::small_model(5, 2);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 0, ByzStrategy::kCrash, 42, 30,
+      sim::ClockKind::kSpread, sim::DelayKind::kRandom);
+  const auto skews = result.trace.skews();
+  ASSERT_GE(skews.size(), 30u);
+  // Late-phase skew is at most half of the assumed initial bound S.
+  double late = 0.0;
+  for (std::size_t r = 20; r < 30; ++r) late = std::max(late, skews[r]);
+  EXPECT_LT(late, setup.cps.S / 2.0);
+}
+
+TEST(Cps, DeltasStayWithinLemma14Bounds) {
+  const auto model = crusader::testing::small_model(5, 2);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  std::vector<CpsNode*> nodes(model.n, nullptr);
+
+  CpsConfig config;
+  config.params = setup.cps;
+  sim::HonestFactory factory = [&nodes, config](NodeId v) {
+    auto node = std::make_unique<CpsNode>(config);
+    nodes[v] = node.get();
+    return node;
+  };
+  auto world_config =
+      crusader::testing::world_config(model, setup, 20, /*seed=*/3);
+  sim::World world(world_config, factory, nullptr);
+  (void)world.run();
+
+  // Lemma 14(1): −∥p∥ ≤ Δ ≤ ∥p∥ + δ, so |Δ| ≤ S + δ always.
+  for (auto* node : nodes) {
+    ASSERT_NE(node, nullptr);
+    EXPECT_GT(node->stats().rounds_completed, 15u);
+    EXPECT_LE(node->stats().max_abs_delta, setup.cps.S + setup.cps.delta + 1e-9);
+    EXPECT_EQ(node->stats().negative_waits, 0u);
+    EXPECT_EQ(node->stats().bot_estimates, 0u);  // fault-free: no ⊥
+  }
+}
+
+TEST(Cps, TwoNodeSystem) {
+  // n=2, f=⌈2/2⌉−1=0: degenerate but must work (pure drift compensation).
+  const auto model = crusader::testing::small_model(2, 0);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 0, ByzStrategy::kCrash, 9, 20,
+      sim::ClockKind::kSpread, sim::DelayKind::kMax);
+  EXPECT_TRUE(result.trace.live(20));
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+}
+
+TEST(Cps, InfeasibleParamsRejected) {
+  sim::ModelParams model = crusader::testing::small_model(5, 2);
+  model.vartheta = 1.5;
+  CpsConfig config;
+  config.params = core::derive_cps_params(model);
+  EXPECT_FALSE(config.params.feasible);
+  EXPECT_THROW(CpsNode{config}, util::CheckFailure);
+}
+
+TEST(Cps, MaxRoundsStopsPulsing) {
+  const auto model = crusader::testing::small_model(3, 1);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  auto factory = baselines::make_protocol_factory(setup, /*max_rounds=*/5);
+  auto config = crusader::testing::world_config(model, setup, 30, 1);
+  sim::World world(config, factory, nullptr);
+  const auto result = world.run();
+  for (NodeId v = 0; v < model.n; ++v)
+    EXPECT_EQ(result.trace.pulse_count(v), 5u);
+}
+
+TEST(Cps, MessageComplexityIsCubicPerRound) {
+  // Each pulse: n dealer broadcasts (n−1 msgs each) + up to n(n−1) echoes of
+  // (n−1) msgs → Θ(n³). Check the count for a fault-free round is exactly
+  // n(n−1) + n(n−1)(n−1) = n(n−1)·n = n²(n−1).
+  const auto model = crusader::testing::small_model(4, 1);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  auto factory = baselines::make_protocol_factory(setup, /*max_rounds=*/6);
+  auto config = crusader::testing::world_config(model, setup, 8, 1);
+  sim::World world(config, factory, nullptr);
+  const auto result = world.run();
+  const std::uint64_t n = model.n;
+  const std::uint64_t per_round = n * n * (n - 1);
+  // 5 full collection rounds happen (the 6th pulse stops the protocol).
+  EXPECT_EQ(result.messages, 5 * per_round);
+}
+
+}  // namespace
+}  // namespace crusader::core

@@ -1,0 +1,190 @@
+// CPS under the full Byzantine strategy suite at maximal resilience
+// f = ⌈n/2⌉ − 1: Theorem 17's guarantees must survive every legal attack.
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.hpp"
+#include "core/cps.hpp"
+#include "helpers.hpp"
+
+namespace crusader::core {
+namespace {
+
+using baselines::ProtocolKind;
+
+struct AdvCase {
+  std::uint32_t n;
+  ByzStrategy strategy;
+  sim::ClockKind clocks;
+  std::uint64_t seed;
+};
+
+class CpsAdversarial : public ::testing::TestWithParam<AdvCase> {};
+
+TEST_P(CpsAdversarial, Theorem17SurvivesAttack) {
+  const auto c = GetParam();
+  const std::uint32_t f = sim::ModelParams::max_faults_signed(c.n);
+  const auto model = crusader::testing::small_model(c.n, f);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  ASSERT_TRUE(setup.feasible);
+
+  const std::size_t rounds = 20;
+  // late_shift for the pull-late strategy: a sizeable fraction of the
+  // acceptance window; split_shift beyond the Lemma-11 tolerance so the echo
+  // guard actually fires.
+  const double late_shift = 0.3 * setup.cps.accept_window;
+  const double split_shift = 0.2;
+
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, f, c.strategy, c.seed, rounds, c.clocks,
+      sim::DelayKind::kRandom, late_shift, split_shift);
+
+  EXPECT_TRUE(result.violations.empty());
+  ASSERT_TRUE(result.trace.live(rounds))
+      << "liveness lost under " << to_string(c.strategy) << ": only "
+      << result.trace.complete_rounds() << " rounds";
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9)
+      << "skew bound broken under " << to_string(c.strategy);
+  EXPECT_GE(result.trace.min_period(), setup.cps.p_min - 1e-9);
+  EXPECT_LE(result.trace.max_period(), setup.cps.p_max + 1e-9);
+}
+
+std::vector<AdvCase> adv_cases() {
+  std::vector<AdvCase> cases;
+  std::uint64_t seed = 7000;
+  for (std::uint32_t n : {3u, 5u, 7u}) {
+    for (ByzStrategy strategy : all_byz_strategies()) {
+      for (auto clocks : {sim::ClockKind::kSpread, sim::ClockKind::kRandomWalk}) {
+        if (n == 7 && clocks == sim::ClockKind::kRandomWalk) continue;
+        cases.push_back(AdvCase{n, strategy, clocks, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CpsAdversarial, ::testing::ValuesIn(adv_cases()),
+    [](const ::testing::TestParamInfo<AdvCase>& info) {
+      const auto& c = info.param;
+      std::string name = to_string(c.strategy);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return "n" + std::to_string(c.n) + "_" + name + "_c" +
+             std::to_string(static_cast<int>(c.clocks)) + "_s" +
+             std::to_string(c.seed);
+    });
+
+TEST(CpsAdversarialDetail, SplitShiftTriggersEchoGuard) {
+  // With a split shift far beyond Lemma 11's tolerance, honest nodes that
+  // accepted the early copy must reject via the echo guard once the late
+  // half's echoes circulate — ⊥, not inconsistent estimates.
+  const std::uint32_t n = 5;
+  const std::uint32_t f = 2;
+  const auto model = crusader::testing::small_model(n, f);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+
+  std::vector<CpsNode*> nodes(n, nullptr);
+  CpsConfig config;
+  config.params = setup.cps;
+  sim::HonestFactory honest = [&nodes, config](NodeId v) {
+    auto node = std::make_unique<CpsNode>(config);
+    nodes[v] = node.get();
+    return node;
+  };
+  auto byz = make_byzantine_factory(ByzStrategy::kSplit, honest, 1,
+                                    /*late_shift=*/0.0, /*split_shift=*/0.5);
+  auto world_config = crusader::testing::world_config(model, setup, 15, 11);
+  world_config.faulty = sim::default_faulty_set(f);
+  sim::World world(world_config, honest, byz);
+  const auto result = world.run();
+
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+  // At least some honest node saw ⊥ estimates (the guard fired).
+  std::uint64_t bots = 0;
+  for (auto* node : nodes)
+    if (node != nullptr) bots += node->stats().bot_estimates;
+  EXPECT_GT(bots, 0u);
+}
+
+TEST(CpsAdversarialDetail, EchoRushIsHarmlessWhenUtildeEqualsU) {
+  // Lemma 10: with ũ = u the guard absorbs rushed echoes — no honest
+  // broadcast is rejected, so the skew bound survives.
+  const std::uint32_t n = 5;
+  const std::uint32_t f = 2;
+  const auto model = crusader::testing::small_model(n, f);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, f, ByzStrategy::kEchoRush, 21, 20);
+  EXPECT_TRUE(result.trace.live(20));
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+}
+
+TEST(CpsAdversarialDetail, EchoRushBreaksValidityWhenUtildeLarge) {
+  // The paper's motivating attack (Section 1 / Theorem 5): if faulty links
+  // may undercut the honest minimum delay (ũ > 2u), rushed echoes arrive
+  // inside the guard window of honest broadcasts and force rejections.
+  std::uint32_t n = 5;
+  std::uint32_t f = 2;
+  auto model = crusader::testing::small_model(n, f);
+  model.u_tilde = 0.5;  // ≫ 2u = 0.1
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+
+  std::vector<CpsNode*> nodes(n, nullptr);
+  CpsConfig config;
+  config.params = setup.cps;
+  config.record_estimates = true;
+  sim::HonestFactory honest = [&nodes, config](NodeId v) {
+    auto node = std::make_unique<CpsNode>(config);
+    nodes[v] = node.get();
+    return node;
+  };
+  auto byz = make_byzantine_factory(ByzStrategy::kEchoRush, honest, 3);
+  auto world_config = crusader::testing::world_config(model, setup, 15, 31);
+  world_config.faulty = sim::default_faulty_set(f);
+  world_config.delay_kind = sim::DelayKind::kMax;  // maximize direct delays
+  sim::World world(world_config, honest, byz);
+  const auto result = world.run();
+
+  // Count ⊥ outputs for HONEST dealers only: those are genuine Lemma-10
+  // violations caused by the rushed echoes (the silent attackers' own
+  // dealer slots always time out and prove nothing).
+  std::uint64_t honest_bots = 0;
+  for (auto* node : nodes) {
+    if (node == nullptr) continue;
+    for (const auto& rec : node->estimates())
+      if (rec.bot && rec.dealer >= f) ++honest_bots;
+  }
+  EXPECT_GT(honest_bots, 0u) << "rushed echoes should have caused rejections";
+}
+
+TEST(CpsAdversarialDetail, FewerFaultsThanBudget) {
+  // f_actual < f: guarantees still hold (the discard rule over-provisions).
+  const std::uint32_t n = 7;
+  const std::uint32_t f = 3;
+  const auto model = crusader::testing::small_model(n, f);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, /*f_actual=*/1, ByzStrategy::kPullEarly, 77,
+      20);
+  EXPECT_TRUE(result.trace.live(20));
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+}
+
+TEST(CpsAdversarialDetail, AllStrategiesAreModelLegal) {
+  // Under Enforcement::kThrow (the default), a strategy violating the
+  // Dolev–Yao rule or delay bounds would abort the run. Cover every strategy
+  // with extreme clock/delay settings.
+  const std::uint32_t n = 5;
+  const std::uint32_t f = 2;
+  const auto model = crusader::testing::small_model(n, f);
+  for (ByzStrategy strategy : all_byz_strategies()) {
+    const auto result = crusader::testing::run_protocol(
+        ProtocolKind::kCps, model, f, strategy, 5, 10,
+        sim::ClockKind::kNominal, sim::DelayKind::kMin, 0.1, 0.1);
+    EXPECT_TRUE(result.violations.empty()) << to_string(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace crusader::core

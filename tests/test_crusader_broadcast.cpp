@@ -1,0 +1,264 @@
+// Tests for Figure 4 (Crusader Broadcast): Validity and Crusader Consistency
+// (Definition 6) under honest, equivocating, partial and silent dealers.
+
+#include "sync/crusader_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace crusader::sync {
+namespace {
+
+struct CbHarness {
+  std::uint32_t n;
+  crypto::Pki pki;
+  std::vector<bool> faulty;
+  SyncNetwork net;
+  std::vector<std::unique_ptr<CrusaderBroadcastNode>> nodes;
+
+  CbHarness(std::uint32_t n_in, std::vector<bool> faulty_in, NodeId dealer,
+            std::optional<double> input)
+      : n(n_in),
+        pki(n_in, crypto::Pki::Kind::kSymbolic, 7),
+        faulty(std::move(faulty_in)),
+        net(n_in, faulty, pki) {
+    nodes.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (faulty[v]) continue;
+      nodes[v] = std::make_unique<CrusaderBroadcastNode>(
+          v, dealer, /*tag=*/1, n, pki,
+          v == dealer ? input : std::nullopt);
+      net.set_protocol(v, nodes[v].get());
+    }
+  }
+
+  void run(RushingAdversary* adversary = nullptr) {
+    net.set_adversary(adversary);
+    net.run_rounds(2);
+  }
+};
+
+TEST(CrusaderBroadcast, ValidityHonestDealer) {
+  CbHarness h(5, {false, false, false, false, false}, /*dealer=*/2, 3.75);
+  h.run();
+  for (NodeId v = 0; v < 5; ++v) {
+    ASSERT_TRUE(h.nodes[v]->done());
+    const CbOutput out = h.nodes[v]->output();
+    ASSERT_TRUE(out.has_value()) << "node " << v;
+    EXPECT_DOUBLE_EQ(*out, 3.75);
+  }
+}
+
+TEST(CrusaderBroadcast, SilentDealerYieldsBotEverywhere) {
+  CbHarness h(4, {false, false, false, true}, /*dealer=*/3, std::nullopt);
+  h.run();  // no adversary: the faulty dealer stays silent
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_FALSE(h.nodes[v]->output().has_value()) << "node " << v;
+  }
+}
+
+/// Dealer sends validly-signed value A to even ids, B to odd ids.
+class EquivocatingDealer final : public RushingAdversary {
+ public:
+  EquivocatingDealer(crypto::Pki* pki, NodeId dealer, std::uint32_t n)
+      : pki_(pki), dealer_(dealer), n_(n) {}
+
+  std::map<NodeId, Outbox> act(std::uint32_t round,
+                               const std::vector<Outbox>&) override {
+    std::map<NodeId, Outbox> out;
+    if (round != 0) return out;
+    Outbox outbox;
+    for (NodeId to = 0; to < n_; ++to) {
+      const double value = to % 2 == 0 ? 1.0 : 2.0;
+      SignedValue entry;
+      entry.dealer = dealer_;
+      entry.value = value;
+      entry.sig = pki_->sign(dealer_,
+                             crypto::make_value_payload(1, dealer_, value));
+      outbox[to].entries.push_back(entry);
+    }
+    out[dealer_] = std::move(outbox);
+    return out;
+  }
+
+ private:
+  crypto::Pki* pki_;
+  NodeId dealer_;
+  std::uint32_t n_;
+};
+
+TEST(CrusaderBroadcast, EquivocationCaughtByEchoRound) {
+  CbHarness h(5, {false, false, false, false, true}, /*dealer=*/4,
+              std::nullopt);
+  EquivocatingDealer adv(&h.pki, 4, 5);
+  h.run(&adv);
+  // Everyone sees both signed values after the echo round: all output ⊥.
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_FALSE(h.nodes[v]->output().has_value()) << "node " << v;
+  }
+}
+
+/// Dealer sends a valid value only to `targets`; others get nothing.
+class PartialDealer final : public RushingAdversary {
+ public:
+  PartialDealer(crypto::Pki* pki, NodeId dealer, std::vector<NodeId> targets)
+      : pki_(pki), dealer_(dealer), targets_(std::move(targets)) {}
+
+  std::map<NodeId, Outbox> act(std::uint32_t round,
+                               const std::vector<Outbox>&) override {
+    std::map<NodeId, Outbox> out;
+    if (round != 0) return out;
+    SignedValue entry;
+    entry.dealer = dealer_;
+    entry.value = 9.5;
+    entry.sig =
+        pki_->sign(dealer_, crypto::make_value_payload(1, dealer_, 9.5));
+    Outbox outbox;
+    for (NodeId to : targets_) outbox[to].entries.push_back(entry);
+    out[dealer_] = std::move(outbox);
+    return out;
+  }
+
+ private:
+  crypto::Pki* pki_;
+  NodeId dealer_;
+  std::vector<NodeId> targets_;
+};
+
+TEST(CrusaderBroadcast, PartialDeliveryGivesCrusaderConsistency) {
+  CbHarness h(5, {false, false, false, false, true}, /*dealer=*/4,
+              std::nullopt);
+  PartialDealer adv(&h.pki, 4, {0, 2});
+  h.run(&adv);
+  // Receivers output 9.5; the others output ⊥ — never a different value.
+  for (NodeId v = 0; v < 4; ++v) {
+    const CbOutput out = h.nodes[v]->output();
+    if (out.has_value()) {
+      EXPECT_DOUBLE_EQ(*out, 9.5);
+    }
+  }
+  EXPECT_TRUE(h.nodes[0]->output().has_value());
+  EXPECT_TRUE(h.nodes[2]->output().has_value());
+  EXPECT_FALSE(h.nodes[1]->output().has_value());
+  EXPECT_FALSE(h.nodes[3]->output().has_value());
+}
+
+/// Dealer sends an unsigned (invalid) value.
+class UnsignedDealer final : public RushingAdversary {
+ public:
+  explicit UnsignedDealer(NodeId dealer, std::uint32_t n)
+      : dealer_(dealer), n_(n) {}
+
+  std::map<NodeId, Outbox> act(std::uint32_t round,
+                               const std::vector<Outbox>&) override {
+    std::map<NodeId, Outbox> out;
+    if (round != 0) return out;
+    Outbox outbox;
+    for (NodeId to = 0; to < n_; ++to) {
+      SignedValue entry;  // default sig: invalid
+      entry.dealer = dealer_;
+      entry.value = 4.0;
+      outbox[to].entries.push_back(entry);
+    }
+    out[dealer_] = std::move(outbox);
+    return out;
+  }
+
+ private:
+  NodeId dealer_;
+  std::uint32_t n_;
+};
+
+TEST(CrusaderBroadcast, InvalidSignatureYieldsBot) {
+  CbHarness h(4, {false, false, false, true}, /*dealer=*/3, std::nullopt);
+  UnsignedDealer adv(3, 4);
+  h.run(&adv);
+  for (NodeId v = 0; v < 3; ++v)
+    EXPECT_FALSE(h.nodes[v]->output().has_value());
+}
+
+class CbInstanceUnit : public ::testing::Test {
+ protected:
+  crypto::Pki pki_{4, crypto::Pki::Kind::kSymbolic, 3};
+};
+
+TEST_F(CbInstanceUnit, ConflictViaEchoOnly) {
+  // Node 1's instance for dealer 0: direct value 1.0, echoed conflicting 2.0.
+  CbInstance dealer_side(0, 0, 9, pki_);
+  const auto direct = dealer_side.make_broadcast(1.0);
+  ASSERT_TRUE(direct.has_value());
+  // The (faulty) dealer also signed 2.0 for someone else.
+  SignedValue other;
+  other.dealer = 0;
+  other.value = 2.0;
+  other.sig = pki_.sign(0, crypto::make_value_payload(9, 0, 2.0));
+
+  CbInstance inst(1, 0, 9, pki_);
+  inst.on_direct(*direct);
+  inst.on_echo(2, other);
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST_F(CbInstanceUnit, DuplicateEchoOfSameValueHarmless) {
+  CbInstance dealer_side(0, 0, 9, pki_);
+  const auto direct = dealer_side.make_broadcast(1.0);
+  CbInstance inst(1, 0, 9, pki_);
+  inst.on_direct(*direct);
+  inst.on_echo(2, *direct);
+  inst.on_echo(3, *direct);
+  ASSERT_TRUE(inst.output().has_value());
+  EXPECT_DOUBLE_EQ(*inst.output(), 1.0);
+}
+
+TEST_F(CbInstanceUnit, WrongInstanceTagRejected) {
+  CbInstance dealer_side(0, 0, /*tag=*/5, pki_);
+  const auto old = dealer_side.make_broadcast(1.0);
+  CbInstance inst(1, 0, /*tag=*/6, pki_);  // different instance
+  inst.on_direct(*old);                     // replayed from tag 5
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST_F(CbInstanceUnit, NonDealerCannotBroadcast) {
+  CbInstance inst(1, 0, 1, pki_);
+  EXPECT_THROW((void)inst.make_broadcast(1.0), util::CheckFailure);
+}
+
+TEST_F(CbInstanceUnit, RandomizedSigningSameValueIsNotAConflict) {
+  // A Byzantine dealer with a randomized signer can mint several distinct
+  // valid signatures on the SAME value (nonces). Definition 6 only forbids
+  // conflicting VALUES, so this must not force ⊥.
+  SignedValue a;
+  a.dealer = 0;
+  a.value = 2.5;
+  a.sig = pki_.sign(0, crypto::make_value_payload(9, 0, 2.5), /*nonce=*/1);
+  SignedValue b = a;
+  b.sig = pki_.sign(0, crypto::make_value_payload(9, 0, 2.5), /*nonce=*/2);
+
+  CbInstance inst(1, 0, 9, pki_);
+  inst.on_direct(a);
+  inst.on_echo(2, b);
+  ASSERT_TRUE(inst.output().has_value());
+  EXPECT_DOUBLE_EQ(*inst.output(), 2.5);
+}
+
+TEST_F(CbInstanceUnit, RandomizedSigningDifferentValuesStillConflicts) {
+  SignedValue a;
+  a.dealer = 0;
+  a.value = 2.5;
+  a.sig = pki_.sign(0, crypto::make_value_payload(9, 0, 2.5), 1);
+  SignedValue b;
+  b.dealer = 0;
+  b.value = 7.5;
+  b.sig = pki_.sign(0, crypto::make_value_payload(9, 0, 7.5), 2);
+
+  CbInstance inst(1, 0, 9, pki_);
+  inst.on_direct(a);
+  inst.on_echo(2, b);
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+}  // namespace
+}  // namespace crusader::sync

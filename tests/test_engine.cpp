@@ -1,0 +1,88 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+namespace {
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  double seen = -1.0;
+  engine.at(2.5, [&] { seen = engine.now(); });
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  bool late_ran = false;
+  engine.at(5.0, [&] { late_ran = true; });
+  engine.run_until(4.0);
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+  engine.run_until(6.0);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine engine;
+  engine.at(3.0, [] {});
+  engine.run_until(3.0);
+  double seen = -1.0;
+  engine.at(1.0, [&] { seen = engine.now(); });  // in the past
+  engine.run_until(5.0);
+  EXPECT_DOUBLE_EQ(seen, 3.0);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  Engine engine;
+  std::vector<double> times;
+  engine.at(1.0, [&] {
+    engine.after(0.5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run_until(10.0);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 1.5);
+}
+
+TEST(Engine, NegativeDelayRejected) {
+  Engine engine;
+  EXPECT_THROW(engine.after(-1.0, [] {}), util::CheckFailure);
+}
+
+TEST(Engine, StepProcessesOne) {
+  Engine engine;
+  int count = 0;
+  engine.at(1.0, [&] { ++count; });
+  engine.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, CancelWorksThroughEngine) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_until(2.0);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) engine.at(i, [] {});
+  engine.run_until(10.0);
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace crusader::sim

@@ -1,0 +1,105 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  const EventId early = q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] {
+    order.push_back(1);
+    q.schedule(2.0, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  EXPECT_EQ(q.pending(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_and_run(), util::CheckFailure);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventFn{}), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::sim

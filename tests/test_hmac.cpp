@@ -1,0 +1,66 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace crusader::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const std::string key(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const std::string key(20, '\xaa');
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case4) {
+  std::string key;
+  for (int i = 1; i <= 25; ++i) key.push_back(static_cast<char>(i));
+  const std::string msg(50, '\xcd');
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  EXPECT_NE(hmac_sha256("key", "message1"), hmac_sha256("key", "message2"));
+}
+
+TEST(Hmac, Deterministic) {
+  EXPECT_EQ(hmac_sha256("key", "msg"), hmac_sha256("key", "msg"));
+}
+
+TEST(Hmac, ExactBlockSizeKey) {
+  const std::string key(64, 'k');
+  const auto tag = hmac_sha256(key, "m");
+  EXPECT_EQ(tag, hmac_sha256(key, "m"));
+  EXPECT_NE(tag, hmac_sha256(std::string(63, 'k'), "m"));
+}
+
+}  // namespace
+}  // namespace crusader::crypto

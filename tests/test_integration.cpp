@@ -1,0 +1,151 @@
+// End-to-end integration: HMAC-backed PKI, random-walk clocks, random
+// adversaries, long horizons — everything at once, plus cross-protocol
+// sanity comparisons.
+
+#include <gtest/gtest.h>
+
+#include "core/logical_clock.hpp"
+#include "helpers.hpp"
+#include "lowerbound/theorem5.hpp"
+
+namespace crusader {
+namespace {
+
+using baselines::ProtocolKind;
+
+TEST(Integration, CpsWithHmacPkiAndRandomWalkClocks) {
+  const auto model = testing::small_model(5, 2);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  auto honest = baselines::make_protocol_factory(setup);
+  auto byz = core::make_byzantine_factory(core::ByzStrategy::kRandom, honest,
+                                          99);
+
+  auto config = testing::world_config(model, setup, 20, 99);
+  config.pki_kind = crypto::Pki::Kind::kHmac;
+  config.clock_kind = sim::ClockKind::kRandomWalk;
+  config.faulty = sim::default_faulty_set(2);
+  sim::World world(config, honest, byz);
+  const auto result = world.run();
+
+  ASSERT_TRUE(result.trace.live(20));
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+  EXPECT_GT(result.sign_ops, 0u);
+  EXPECT_GT(result.verify_ops, 0u);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(Integration, HmacAndSymbolicSchemesAgreeOnTraces) {
+  // The signature scheme must be protocol-transparent: identical seeds and
+  // configs yield identical pulse traces regardless of the scheme.
+  const auto model = testing::small_model(4, 1);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  auto run_with = [&](crypto::Pki::Kind kind) {
+    auto honest = baselines::make_protocol_factory(setup);
+    auto byz =
+        core::make_byzantine_factory(core::ByzStrategy::kCrash, honest, 1);
+    auto config = testing::world_config(model, setup, 15, 42);
+    config.pki_kind = kind;
+    config.faulty = {3};
+    sim::World world(config, honest, byz);
+    return world.run();
+  };
+  const auto sym = run_with(crypto::Pki::Kind::kSymbolic);
+  const auto hmac = run_with(crypto::Pki::Kind::kHmac);
+  ASSERT_EQ(sym.trace.complete_rounds(), hmac.trace.complete_rounds());
+  for (NodeId v = 0; v < 3; ++v) {
+    for (std::size_t r = 0; r < sym.trace.complete_rounds(); ++r) {
+      EXPECT_DOUBLE_EQ(sym.trace.pulse_time(v, r),
+                       hmac.trace.pulse_time(v, r));
+    }
+  }
+}
+
+TEST(Integration, LongRunStability) {
+  // 120 rounds under a colluding pull attack: skew must not creep.
+  const auto model = testing::small_model(5, 2);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = testing::run_protocol(
+      ProtocolKind::kCps, model, 2, core::ByzStrategy::kPullEarly, 5, 120);
+  ASSERT_TRUE(result.trace.live(120));
+  const auto skews = result.trace.skews();
+  // Compare early steady state vs late steady state: no degradation trend.
+  double early = 0.0, late = 0.0;
+  for (std::size_t r = 10; r < 40; ++r) early = std::max(early, skews[r]);
+  for (std::size_t r = 90; r < 120; ++r) late = std::max(late, skews[r]);
+  EXPECT_LE(late, early * 1.5 + 0.01);
+  EXPECT_LE(result.trace.max_skew(10), setup.cps.S + 1e-9);
+}
+
+TEST(Integration, ThreeProtocolsSideBySide) {
+  // The paper's positioning table, as a test: at f = ⌈n/2⌉−1 under attack,
+  // CPS holds a small skew; ST holds ~d; LW (run beyond its resilience) is
+  // strictly worse than CPS.
+  const std::uint32_t n = 6;
+  const std::uint32_t f = 2;
+  const auto model = testing::small_model(n, f);
+  const auto cps_setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto lw_setup = baselines::make_setup(ProtocolKind::kLynchWelch, model);
+
+  // Calibrated to stay inside the LW acceptance window (an overshooting
+  // shift just gets rejected and is harmless); ≈ S_lw is the sweet spot.
+  const double split_shift = lw_setup.lw.S;
+  const auto cps = testing::run_protocol(ProtocolKind::kCps, model, f,
+                                         core::ByzStrategy::kSplit, 7, 20,
+                                         sim::ClockKind::kSpread,
+                                         sim::DelayKind::kRandom, 0.0,
+                                         split_shift);
+  const auto lw = testing::run_protocol(ProtocolKind::kLynchWelch, model, f,
+                                        core::ByzStrategy::kSplit, 7, 20,
+                                        sim::ClockKind::kSpread,
+                                        sim::DelayKind::kRandom, 0.0,
+                                        split_shift);
+  const auto st = testing::run_protocol(ProtocolKind::kSrikanthToueg, model,
+                                        f, core::ByzStrategy::kCrash, 7, 20);
+
+  ASSERT_TRUE(cps.trace.live(20));
+  ASSERT_TRUE(st.trace.live(20));
+  EXPECT_LE(cps.trace.max_skew(), cps_setup.cps.S + 1e-9);
+  EXPECT_LE(st.trace.max_skew(), model.d + 1e-9);
+  // LW at f = n/3 under the two-faced attack: its steady state degrades
+  // while CPS's stays small (compare past the initial transient).
+  EXPECT_GT(lw.trace.max_skew(8), cps.trace.max_skew(8));
+}
+
+TEST(Integration, MessageComplexityOrdering) {
+  // CPS pays Θ(n³) messages per pulse vs Θ(n²) for LW — the documented cost
+  // of echo-based consistency.
+  const auto model = testing::small_model(8, 3);
+  const auto cps = testing::run_protocol(ProtocolKind::kCps, model, 0,
+                                         core::ByzStrategy::kCrash, 3, 10);
+  const auto lw = testing::run_protocol(ProtocolKind::kLynchWelch, model, 0,
+                                        core::ByzStrategy::kCrash, 3, 10);
+  const double cps_per_round =
+      static_cast<double>(cps.messages) /
+      static_cast<double>(cps.trace.complete_rounds());
+  const double lw_per_round =
+      static_cast<double>(lw.messages) /
+      static_cast<double>(lw.trace.complete_rounds());
+  EXPECT_GT(cps_per_round, 5.0 * lw_per_round);
+}
+
+TEST(Integration, LowerBoundBelowUpperBoundAcrossUtilde) {
+  // Sweep ũ: realized lower-bound skew rises with ũ while remaining below
+  // the (fixed-u) upper bound whenever ũ = u.
+  sim::ModelParams model;
+  model.n = 3;
+  model.f = 1;
+  model.d = 1.0;
+  model.u = 0.08;
+  model.u_tilde = 0.08;
+  model.vartheta = 1.04;
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  ASSERT_TRUE(setup.feasible);
+  const auto report =
+      lowerbound::run_theorem5(ProtocolKind::kCps, model, 40);
+  ASSERT_TRUE(report.bound_holds);
+  EXPECT_LE(report.max_skew, setup.cps.S + 1e-9);
+  EXPECT_GE(report.max_skew, 2.0 * model.u_tilde / 3.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace crusader

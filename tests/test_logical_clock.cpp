@@ -1,0 +1,108 @@
+// Logical clocks by interpolation (paper intro / [14, Ch. 9]): bounded skew
+// and monotone readings derived from pulse traces.
+
+#include "core/logical_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "util/check.hpp"
+
+namespace crusader::core {
+namespace {
+
+using baselines::ProtocolKind;
+
+sim::PulseTrace synthetic_trace() {
+  // Two honest nodes pulsing with period 2, skew 0.2.
+  sim::PulseTrace trace(2, {false, false});
+  for (int r = 0; r < 5; ++r) {
+    trace.record(0, 2.0 * r + 1.0, 2.0 * r + 1.0);
+    trace.record(1, 2.0 * r + 1.2, 2.0 * r + 1.2);
+  }
+  return trace;
+}
+
+TEST(LogicalClockView, AnchorsAtPulses) {
+  const auto trace = synthetic_trace();
+  LogicalClockView view(trace, 0, /*tick=*/10.0);
+  EXPECT_DOUBLE_EQ(view.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(view.at(3.0), 10.0);
+  EXPECT_DOUBLE_EQ(view.at(9.0), 40.0);
+}
+
+TEST(LogicalClockView, InterpolatesBetweenPulses) {
+  const auto trace = synthetic_trace();
+  LogicalClockView view(trace, 0, 10.0);
+  EXPECT_NEAR(view.at(2.0), 5.0, 1e-12);
+  EXPECT_NEAR(view.at(1.5), 2.5, 1e-12);
+}
+
+TEST(LogicalClockView, ClampsOutsideDomain) {
+  const auto trace = synthetic_trace();
+  LogicalClockView view(trace, 0, 10.0);
+  EXPECT_DOUBLE_EQ(view.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(view.at(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(view.domain_begin(), 1.0);
+  EXPECT_DOUBLE_EQ(view.domain_end(), 9.0);
+}
+
+TEST(LogicalClockView, Monotone) {
+  const auto trace = synthetic_trace();
+  LogicalClockView view(trace, 1, 7.0);
+  double prev = -1.0;
+  for (double t = 0.0; t < 11.0; t += 0.05) {
+    const double cur = view.at(t);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(LogicalClockView, NeedsTwoPulses) {
+  sim::PulseTrace trace(1, {false});
+  trace.record(0, 1.0, 1.0);
+  EXPECT_THROW(LogicalClockView(trace, 0, 1.0), util::CheckFailure);
+}
+
+TEST(MaxLogicalSkew, SyntheticBound) {
+  const auto trace = synthetic_trace();
+  // Pulse skew 0.2 on period 2.0 with tick 10 → logical skew = 1.0.
+  const double skew = max_logical_skew(trace, 10.0, 200);
+  EXPECT_NEAR(skew, 1.0, 0.05);
+}
+
+TEST(MaxLogicalSkew, FromCpsRun) {
+  // End-to-end: run CPS, derive logical clocks, check the documented bound
+  // Λ·(S/P_min + (P_max−P_min)/P_min).
+  const auto model = crusader::testing::small_model(5, 2);
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 2, core::ByzStrategy::kRandom, 23, 25);
+  ASSERT_TRUE(result.trace.live(25));
+
+  const double tick = 100.0;
+  const double skew = max_logical_skew(result.trace, tick, 500);
+  const double bound = tick * (setup.cps.S / setup.cps.p_min +
+                               (setup.cps.p_max - setup.cps.p_min) /
+                                   setup.cps.p_min);
+  EXPECT_LE(skew, bound + 1e-6);
+  EXPECT_GT(skew, 0.0);
+}
+
+TEST(MaxLogicalSkew, TighterWhenPulsesTighter) {
+  // Logical skew tracks pulse skew: a fault-free max-delay world (near-zero
+  // steady-state skew) must beat an adversarial one.
+  const auto model = crusader::testing::small_model(5, 2);
+  const auto quiet = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 0, core::ByzStrategy::kCrash, 3, 25,
+      sim::ClockKind::kNominal, sim::DelayKind::kMax);
+  const auto noisy = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 2, core::ByzStrategy::kSplit, 3, 25,
+      sim::ClockKind::kSpread, sim::DelayKind::kSplit, 0.0, 0.2);
+  const double tick = 10.0;
+  EXPECT_LE(max_logical_skew(quiet.trace, tick, 300),
+            max_logical_skew(noisy.trace, tick, 300) + 1e-9);
+}
+
+}  // namespace
+}  // namespace crusader::core

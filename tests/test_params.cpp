@@ -1,0 +1,171 @@
+// Tests for the Theorem-17 constant solver and the Corollary-4 feasibility
+// threshold.
+
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace crusader::core {
+namespace {
+
+sim::ModelParams model(double d, double u, double vartheta) {
+  sim::ModelParams m;
+  m.n = 5;
+  m.f = 2;
+  m.d = d;
+  m.u = u;
+  m.u_tilde = u;
+  m.vartheta = vartheta;
+  return m;
+}
+
+TEST(ParamSolver, FeasibleAtSmallVartheta) {
+  const CpsParams p = derive_cps_params(model(1.0, 0.05, 1.01));
+  ASSERT_TRUE(p.feasible);
+  EXPECT_GT(p.S, 0.0);
+  EXPECT_GT(p.T, 0.0);
+  EXPECT_GT(p.p_min, 0.0);
+  EXPECT_GT(p.p_max, p.p_min);
+  EXPECT_GT(p.echo_guard, 0.0);
+}
+
+TEST(ParamSolver, RecursionClosesAtSolution) {
+  // S must satisfy the Lemma-16 inequality with T = min_T(S).
+  const auto m = model(1.0, 0.05, 1.01);
+  ParamSolver solver(m);
+  const CpsParams p = solver.solve();
+  const double vt = m.vartheta;
+  const double lhs = (2.0 - vt) * p.S;
+  const double rhs =
+      2.0 * (2.0 * vt - 1.0) * solver.delta(p.S) + 2.0 * (vt - 1.0) * p.T;
+  EXPECT_GE(lhs, rhs - 1e-9);
+  // Minimality: tight up to numerical error.
+  EXPECT_NEAR(lhs, rhs, 1e-6 * p.S);
+}
+
+TEST(ParamSolver, CorollaryT15BoundHolds) {
+  const auto m = model(1.0, 0.05, 1.01);
+  ParamSolver solver(m);
+  const CpsParams p = solver.solve();
+  EXPECT_GE(p.T, solver.min_T(p.S) - 1e-12);
+}
+
+TEST(ParamSolver, DeltaIsMaxOfBothBounds) {
+  ParamSolver solver(model(1.0, 0.05, 1.02));
+  for (double S : {0.0, 0.1, 1.0}) {
+    EXPECT_DOUBLE_EQ(solver.delta(S),
+                     std::max(solver.delta_valid(S), solver.delta_cons(S)));
+  }
+}
+
+TEST(ParamSolver, SkewScalesLinearlyInU) {
+  // S ∈ Θ(u + (ϑ−1)d): doubling u (at fixed small ϑ−1) roughly doubles S.
+  const double s1 = derive_cps_params(model(1.0, 0.02, 1.0001)).S;
+  const double s2 = derive_cps_params(model(1.0, 0.04, 1.0001)).S;
+  EXPECT_NEAR(s2 / s1, 2.0, 0.1);
+}
+
+TEST(ParamSolver, SkewScalesWithDriftTimesDelay) {
+  // With u ≈ 0, S should scale with (ϑ−1)·d.
+  const double s1 = derive_cps_params(model(1.0, 1e-6, 1.001)).S;
+  const double s2 = derive_cps_params(model(2.0, 1e-6, 1.001)).S;
+  EXPECT_NEAR(s2 / s1, 2.0, 0.05);
+}
+
+TEST(ParamSolver, InfeasibleAtLargeVartheta) {
+  const CpsParams p = derive_cps_params(model(1.0, 0.05, 1.5));
+  EXPECT_FALSE(p.feasible);
+}
+
+TEST(ParamSolver, Corollary4Threshold) {
+  // The paper's constants give ϑ ≤ 1.11; our re-derived constants land in
+  // the same ballpark. Pin the bracket (regression + sanity).
+  const double threshold = ParamSolver::max_vartheta(1.0, 0.01);
+  EXPECT_GT(threshold, 1.03);
+  EXPECT_LT(threshold, 1.15);
+  // Feasibility flips at the threshold.
+  EXPECT_TRUE(derive_cps_params(model(1.0, 0.01, threshold - 1e-3)).feasible);
+  EXPECT_FALSE(derive_cps_params(model(1.0, 0.01, threshold + 1e-3)).feasible);
+}
+
+TEST(ParamSolver, SlackScalesS) {
+  const auto base = derive_cps_params(model(1.0, 0.05, 1.01), 1.0);
+  const auto slacked = derive_cps_params(model(1.0, 0.05, 1.01), 2.0);
+  EXPECT_NEAR(slacked.S, 2.0 * base.S, 1e-9);
+  EXPECT_GT(slacked.T, base.T);
+  EXPECT_THROW((void)ParamSolver(model(1.0, 0.05, 1.01)).solve(0.5),
+               util::CheckFailure);
+}
+
+TEST(ParamSolver, WindowConstantsMatchFigure2) {
+  const auto m = model(1.0, 0.05, 1.01);
+  const CpsParams p = derive_cps_params(m);
+  EXPECT_DOUBLE_EQ(p.echo_guard, m.d - 2.0 * m.u);
+  EXPECT_DOUBLE_EQ(p.dealer_offset, m.vartheta * p.S);
+  EXPECT_DOUBLE_EQ(p.accept_window,
+                   m.vartheta * (m.d + (m.vartheta + 1.0) * p.S));
+}
+
+TEST(ParamSolver, PeriodsMatchTheorem17) {
+  const auto m = model(1.0, 0.05, 1.01);
+  const CpsParams p = derive_cps_params(m);
+  EXPECT_NEAR(p.p_min, (p.T - (m.vartheta + 1.0) * p.S) / m.vartheta, 1e-12);
+  EXPECT_NEAR(p.p_max, p.T + 3.0 * p.S, 1e-12);
+}
+
+TEST(ParamSolver, PminExceedsDPlusS) {
+  // Needed by the synchronizer application (round-r messages arrive before
+  // pulse r+1); holds whenever d > 2u.
+  for (double u : {0.01, 0.1, 0.3}) {
+    const auto p = derive_cps_params(model(1.0, u, 1.005));
+    ASSERT_TRUE(p.feasible);
+    EXPECT_GT(p.p_min, 1.0 + p.S);
+  }
+}
+
+TEST(LwParams, FeasibleAndCheaperThanCps) {
+  const auto m = model(1.0, 0.05, 1.01);
+  const LwParams lw = derive_lw_params(m);
+  const CpsParams cps = derive_cps_params(m);
+  ASSERT_TRUE(lw.feasible);
+  // LW's recursion only carries the validity error, so its S is at most
+  // CPS's (no echo-consistency term).
+  EXPECT_LE(lw.S, cps.S + 1e-12);
+  EXPECT_GT(lw.S, 0.0);
+}
+
+TEST(StParams, SkewIsD) {
+  const auto m = model(2.0, 0.05, 1.01);
+  const StParams st = derive_st_params(m);
+  EXPECT_DOUBLE_EQ(st.skew, 2.0);
+  EXPECT_GT(st.T, 2.0 * m.d);
+}
+
+TEST(ModelParams, ResilienceFormulas) {
+  EXPECT_EQ(sim::ModelParams::max_faults_signed(3), 1u);
+  EXPECT_EQ(sim::ModelParams::max_faults_signed(4), 1u);
+  EXPECT_EQ(sim::ModelParams::max_faults_signed(5), 2u);
+  EXPECT_EQ(sim::ModelParams::max_faults_signed(8), 3u);
+  EXPECT_EQ(sim::ModelParams::max_faults_signed(9), 4u);
+  EXPECT_EQ(sim::ModelParams::max_faults_plain(3), 0u);
+  EXPECT_EQ(sim::ModelParams::max_faults_plain(4), 1u);
+  EXPECT_EQ(sim::ModelParams::max_faults_plain(7), 2u);
+  EXPECT_EQ(sim::ModelParams::max_faults_plain(9), 2u);
+  EXPECT_EQ(sim::ModelParams::max_faults_plain(10), 3u);
+}
+
+TEST(ModelParams, ValidationCatchesBadConfigs) {
+  auto m = model(1.0, 0.05, 1.01);
+  m.u = 0.6;  // violates d > 2u
+  EXPECT_THROW(m.validate(), util::CheckFailure);
+  m = model(1.0, 0.05, 1.0);  // vartheta must exceed 1
+  EXPECT_THROW(m.validate(), util::CheckFailure);
+  m = model(1.0, 0.05, 1.01);
+  m.u_tilde = 0.01;  // u_tilde < u
+  EXPECT_THROW(m.validate(), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::core

@@ -1,0 +1,210 @@
+// Property-based / fuzz tests: global invariants over randomized
+// configurations of the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "core/logical_clock.hpp"
+#include "helpers.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
+
+namespace crusader {
+namespace {
+
+using baselines::ProtocolKind;
+
+/// Derives a random-but-valid configuration from a seed.
+struct FuzzConfig {
+  sim::ModelParams model;
+  std::uint32_t f_actual;
+  core::ByzStrategy strategy;
+  sim::ClockKind clocks;
+  sim::DelayKind delays;
+  std::uint64_t seed;
+};
+
+FuzzConfig make_fuzz_config(std::uint64_t seed) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  FuzzConfig fc;
+  fc.seed = seed;
+  fc.model.n = 2 + static_cast<std::uint32_t>(rng.below(9));  // 2..10
+  fc.model.f = sim::ModelParams::max_faults_signed(fc.model.n);
+  fc.model.d = rng.uniform(0.5, 2.0);
+  fc.model.u = rng.uniform(0.01, 0.2) * fc.model.d;  // u < d/2 guaranteed
+  fc.model.u_tilde = fc.model.u;
+  fc.model.vartheta = 1.0 + rng.uniform(0.0005, 0.035);
+  fc.f_actual =
+      fc.model.f == 0 ? 0
+                      : static_cast<std::uint32_t>(rng.below(fc.model.f + 1));
+  const auto& strategies = core::all_byz_strategies();
+  fc.strategy = strategies[rng.below(strategies.size())];
+  fc.clocks = std::array{sim::ClockKind::kNominal, sim::ClockKind::kSpread,
+                         sim::ClockKind::kRandomWalk}[rng.below(3)];
+  fc.delays = std::array{sim::DelayKind::kMax, sim::DelayKind::kMin,
+                         sim::DelayKind::kRandom,
+                         sim::DelayKind::kSplit}[rng.below(4)];
+  return fc;
+}
+
+class CpsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpsFuzz, Theorem17InvariantsHold) {
+  const FuzzConfig fc = make_fuzz_config(GetParam());
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, fc.model);
+  ASSERT_TRUE(setup.feasible)
+      << "fuzzer must generate feasible models (vartheta="
+      << fc.model.vartheta << ")";
+
+  const std::size_t rounds = 12;
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kCps, fc.model, fc.f_actual, fc.strategy, fc.seed, rounds,
+      fc.clocks, fc.delays, /*late_shift=*/0.1 * setup.cps.accept_window,
+      /*split_shift=*/0.5 * setup.cps.S);
+
+  EXPECT_TRUE(result.violations.empty());
+  ASSERT_TRUE(result.trace.live(rounds))
+      << "n=" << fc.model.n << " f=" << fc.f_actual << " strategy "
+      << core::to_string(fc.strategy);
+  EXPECT_LE(result.trace.max_skew(), setup.cps.S + 1e-9);
+  EXPECT_GE(result.trace.min_period(), setup.cps.p_min - 1e-9);
+  EXPECT_LE(result.trace.max_period(), setup.cps.p_max + 1e-9);
+
+  // Per-node pulse sequences are strictly increasing with sane gaps.
+  for (NodeId v : result.trace.honest()) {
+    const auto& pulses = result.trace.pulses(v);
+    for (std::size_t i = 1; i < pulses.size(); ++i) {
+      EXPECT_GT(pulses[i].real_time, pulses[i - 1].real_time);
+      EXPECT_GT(pulses[i].local_time, pulses[i - 1].local_time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpsFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+class DeterminismFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismFuzz, IdenticalSeedsIdenticalTraces) {
+  const FuzzConfig fc = make_fuzz_config(GetParam());
+  auto run = [&] {
+    return crusader::testing::run_protocol(ProtocolKind::kCps, fc.model,
+                                           fc.f_actual, fc.strategy, fc.seed,
+                                           8, fc.clocks, fc.delays);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.trace.complete_rounds(), b.trace.complete_rounds());
+  ASSERT_EQ(a.messages, b.messages);
+  for (NodeId v : a.trace.honest()) {
+    ASSERT_EQ(a.trace.pulse_count(v), b.trace.pulse_count(v));
+    for (std::size_t r = 0; r < a.trace.pulse_count(v); ++r)
+      EXPECT_DOUBLE_EQ(a.trace.pulse_time(v, r), b.trace.pulse_time(v, r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismFuzz,
+                         ::testing::Values(3, 7, 12, 21, 28));
+
+class RelayFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelayFuzz, SparseTranslationInvariants) {
+  util::Rng rng(GetParam() * 31 + 5);
+  const std::uint32_t n = 5 + static_cast<std::uint32_t>(rng.below(6));
+  const bool chordal = rng.chance(0.5);
+  relay::RelayConfig config;
+  config.topology = chordal && n >= 5 ? relay::Topology::chordal_ring(n, 2)
+                                      : relay::Topology::ring(n);
+  config.hop_model.n = n;
+  config.hop_model.f = 1;
+  config.hop_model.d = 1.0;
+  config.hop_model.u = rng.uniform(0.005, 0.03);
+  config.hop_model.u_tilde = config.hop_model.u;
+  config.hop_model.vartheta = 1.0 + rng.uniform(0.0005, 0.003);
+  config.seed = GetParam();
+  // Optionally crash one node.
+  if (rng.chance(0.5))
+    config.faulty = {static_cast<NodeId>(rng.below(n))};
+
+  const auto eff = relay::effective_model(config);
+  const auto params = core::derive_cps_params(eff);
+  ASSERT_TRUE(params.feasible);
+  config.initial_offset = params.S;
+  config.horizon = params.S + 8.0 * params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = params;
+  relay::RelayWorld world(config, [cps](NodeId) {
+    return std::make_unique<core::CpsNode>(cps);
+  });
+  const auto result = world.run();
+  EXPECT_TRUE(result.trace.live(5));
+  EXPECT_LE(result.trace.max_skew(), params.S + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelayFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SignatureFuzz, TamperedSignaturesNeverVerify) {
+  crypto::Pki pki(6, crypto::Pki::Kind::kHmac, 99);
+  util::Rng rng(123);
+  int checked = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Round round = rng.below(50);
+    const NodeId signer = static_cast<NodeId>(rng.below(6));
+    const auto payload = crypto::make_pulse_payload(round);
+    crypto::Signature sig = pki.sign(signer, payload);
+
+    crypto::Signature tampered = sig;
+    switch (rng.below(3)) {
+      case 0:
+        tampered.tag[rng.below(32)] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      case 1:
+        tampered.signer = static_cast<NodeId>((signer + 1 + rng.below(5)) % 6);
+        break;
+      case 2:
+        tampered.nonce ^= 1 + rng.below(100);
+        break;
+    }
+    if (tampered == sig) continue;
+    EXPECT_FALSE(pki.verify(tampered, payload)) << "iteration " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 150);
+}
+
+TEST(SignatureFuzz, WrongPayloadNeverVerifies) {
+  crypto::Pki pki(4, crypto::Pki::Kind::kSymbolic, 7);
+  util::Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const Round round = rng.below(1000);
+    const auto sig = pki.sign(0, crypto::make_pulse_payload(round));
+    EXPECT_FALSE(pki.verify(sig, crypto::make_pulse_payload(round + 1)));
+    EXPECT_FALSE(pki.verify(sig, crypto::make_ready_payload(round)));
+  }
+}
+
+TEST(LogicalClockFuzz, MonotoneOnRandomTraces) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const FuzzConfig fc = make_fuzz_config(seed);
+    if (fc.model.n < 3) continue;
+    const auto result = crusader::testing::run_protocol(
+        ProtocolKind::kCps, fc.model, 0, core::ByzStrategy::kCrash, seed, 10,
+        fc.clocks, fc.delays);
+    for (NodeId v : result.trace.honest()) {
+      if (result.trace.pulse_count(v) < 2) continue;
+      core::LogicalClockView view(result.trace, v, 13.0);
+      double prev = -1.0;
+      for (double t = view.domain_begin(); t <= view.domain_end();
+           t += (view.domain_end() - view.domain_begin()) / 200.0) {
+        const double cur = view.at(t);
+        EXPECT_GE(cur, prev - 1e-9);
+        prev = cur;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crusader

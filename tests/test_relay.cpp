@@ -1,0 +1,181 @@
+// Sparse-network translation (paper Appendix A): (f+1)-connectivity
+// simulates full connectivity; CPS runs unchanged with effective
+// (d_eff, u_eff) = (D_f·d_hop, D_f·u_hop + drift).
+
+#include "relay/flood_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factories.hpp"
+#include "core/cps.hpp"
+#include "core/params.hpp"
+#include "relay/topology.hpp"
+#include "util/check.hpp"
+
+namespace crusader::relay {
+namespace {
+
+TEST(Topology, CompleteGraphProperties) {
+  const auto topo = Topology::complete(5);
+  EXPECT_EQ(topo.edge_count(), 10u);
+  EXPECT_TRUE(topo.survives_faults(2));
+  EXPECT_EQ(topo.worst_case_distance(2), 1u);
+}
+
+TEST(Topology, RingConnectivity) {
+  const auto topo = Topology::ring(6);
+  EXPECT_EQ(topo.edge_count(), 6u);
+  EXPECT_TRUE(topo.survives_faults(1));   // 2-connected
+  EXPECT_FALSE(topo.survives_faults(2));  // two cuts disconnect a ring
+  // Removing one node forces the long way around: 6-2 = 4 hops.
+  EXPECT_EQ(topo.worst_case_distance(1), 4u);
+}
+
+TEST(Topology, ChordalRingBeatsPlainRing) {
+  const auto plain = Topology::ring(8);
+  const auto chordal = Topology::chordal_ring(8, 2);
+  EXPECT_TRUE(chordal.survives_faults(2));
+  EXPECT_FALSE(plain.survives_faults(2));
+  EXPECT_LT(chordal.worst_case_distance(1), plain.worst_case_distance(1));
+}
+
+TEST(Topology, RingOfCliques) {
+  const auto topo = Topology::ring_of_cliques(3, 4, 2);
+  EXPECT_EQ(topo.n(), 12u);
+  EXPECT_TRUE(topo.survives_faults(2));
+  EXPECT_GE(topo.worst_case_distance(2), 2u);
+}
+
+TEST(Topology, DistanceRespectsExclusions) {
+  auto topo = Topology::ring(5);
+  std::vector<bool> nobody(5, false);
+  EXPECT_EQ(topo.distance(0, 2, nobody), 2u);
+  std::vector<bool> cut(5, false);
+  cut[1] = true;
+  EXPECT_EQ(topo.distance(0, 2, cut), 3u);  // the long way
+  cut[3] = true;
+  cut[4] = true;
+  EXPECT_EQ(topo.distance(0, 2, cut),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Topology, DuplicateEdgesIgnored) {
+  Topology topo(3);
+  topo.add_edge(0, 1);
+  topo.add_edge(1, 0);
+  EXPECT_EQ(topo.edge_count(), 1u);
+}
+
+sim::ModelParams hop_model(std::uint32_t n, std::uint32_t f) {
+  sim::ModelParams hop;
+  hop.n = n;
+  hop.f = f;
+  hop.d = 1.0;
+  hop.u = 0.02;
+  hop.u_tilde = 0.02;
+  hop.vartheta = 1.002;
+  return hop;
+}
+
+TEST(EffectiveModel, CompleteTopologyIsNearFlat) {
+  RelayConfig config;
+  config.topology = Topology::complete(5);
+  config.hop_model = hop_model(5, 2);
+  const auto eff = effective_model(config);
+  EXPECT_DOUBLE_EQ(eff.d, 1.0);
+  EXPECT_NEAR(eff.u, 0.02 + 0.002, 1e-12);  // + hold drift term
+}
+
+TEST(EffectiveModel, ScalesWithWorstCaseDistance) {
+  RelayConfig config;
+  config.topology = Topology::ring(6);
+  config.hop_model = hop_model(6, 1);
+  const auto eff = effective_model(config);
+  EXPECT_DOUBLE_EQ(eff.d, 4.0);  // D_1 = 4 hops
+  EXPECT_NEAR(eff.u, 4.0 * 0.02 + 0.002 * 4.0, 1e-12);
+}
+
+TEST(EffectiveModel, RejectsUnderConnectedTopology) {
+  RelayConfig config;
+  config.topology = Topology::ring(6);
+  config.hop_model = hop_model(6, 2);  // ring is not 3-connected
+  EXPECT_THROW((void)effective_model(config), util::CheckFailure);
+}
+
+RelayRunResult run_cps_on(const Topology& topo, std::uint32_t f,
+                          std::vector<NodeId> faulty, std::size_t rounds,
+                          core::CpsParams* params_out = nullptr) {
+  RelayConfig config;
+  config.topology = topo;
+  config.hop_model = hop_model(topo.n(), f);
+  config.faulty = std::move(faulty);
+  config.seed = 5;
+
+  const auto eff = effective_model(config);
+  const auto params = core::derive_cps_params(eff);
+  CS_CHECK(params.feasible);
+  if (params_out != nullptr) *params_out = params;
+  config.initial_offset = params.S;
+  config.horizon = params.S + (rounds + 2) * params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = params;
+  RelayWorld world(config, [cps](NodeId) {
+    return std::make_unique<core::CpsNode>(cps);
+  });
+  return world.run();
+}
+
+TEST(RelayWorld, CpsOnCompleteTopologyMatchesFlatGuarantees) {
+  core::CpsParams params;
+  const auto result =
+      run_cps_on(Topology::complete(5), 2, {}, 15, &params);
+  EXPECT_TRUE(result.trace.live(15));
+  EXPECT_LE(result.trace.max_skew(), params.S + 1e-9);
+  EXPECT_EQ(result.worst_hops, 1u);
+}
+
+TEST(RelayWorld, CpsOnRingFaultFree) {
+  core::CpsParams params;
+  const auto result = run_cps_on(Topology::ring(6), 1, {}, 10, &params);
+  EXPECT_TRUE(result.trace.live(10));
+  EXPECT_LE(result.trace.max_skew(), params.S + 1e-9);
+  EXPECT_EQ(result.worst_hops, 4u);
+}
+
+TEST(RelayWorld, CpsSurvivesCrashedRelay) {
+  // One crashed node on the ring: the flood routes around it and the
+  // remaining nodes stay synchronized within the effective bound.
+  core::CpsParams params;
+  const auto result = run_cps_on(Topology::ring(6), 1, {3}, 10, &params);
+  EXPECT_TRUE(result.trace.live(10));
+  EXPECT_LE(result.trace.max_skew(), params.S + 1e-9);
+  EXPECT_TRUE(result.trace.pulses(3).empty());
+}
+
+TEST(RelayWorld, CpsOnRingOfCliquesWithFaults) {
+  core::CpsParams params;
+  const auto result = run_cps_on(Topology::ring_of_cliques(3, 4, 2), 2,
+                                 {0, 4}, 8, &params);
+  EXPECT_TRUE(result.trace.live(8));
+  EXPECT_LE(result.trace.max_skew(), params.S + 1e-9);
+}
+
+TEST(RelayWorld, SkewGrowsWithPathLength) {
+  // The [4]-style intuition: effective skew budget scales with the
+  // worst-case relay distance.
+  core::CpsParams ring6, ring10;
+  (void)run_cps_on(Topology::ring(6), 1, {}, 3, &ring6);
+  (void)run_cps_on(Topology::ring(10), 1, {}, 3, &ring10);
+  EXPECT_GT(ring10.S, ring6.S);
+}
+
+TEST(RelayWorld, PhysicalMessageAccounting) {
+  const auto result = run_cps_on(Topology::ring(6), 1, {}, 5);
+  EXPECT_GT(result.floods, 0u);
+  // Flooding a 6-ring costs 2 physical messages per node per flood.
+  EXPECT_GE(result.physical_messages, result.floods * 6);
+}
+
+}  // namespace
+}  // namespace crusader::relay

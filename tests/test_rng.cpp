@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace crusader::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(Rng, UniformDegenerateInterval) {
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, BelowCoversRangeRoughlyUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - trials / 50);
+    EXPECT_LT(c, trials / 10 + trials / 50);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.fork(1);
+  Rng child1_again = Rng(99).fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+  // Distinct streams should not collide in the first draw.
+  EXPECT_NE(Rng(99).fork(1).next_u64(), child2.next_u64());
+}
+
+TEST(Rng, Splitmix64KnownSequenceIsStable) {
+  // Regression anchors (self-consistency across refactors).
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_NE(first, second);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(first, splitmix64(s2));
+}
+
+TEST(Rng, Mix64IsStateless) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+}  // namespace
+}  // namespace crusader::util

@@ -1,0 +1,81 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace crusader::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes == one full block; padding then occupies a second block.
+  const std::string m(64, 'x');
+  EXPECT_EQ(Sha256::hash(m), Sha256::hash(m));
+  EXPECT_NE(Sha256::hash(m), Sha256::hash(std::string(63, 'x')));
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "the quick brown fox jumps over the lazy dog, repeatedly and with vigor";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 ctx;
+    ctx.update(msg.substr(0, split));
+    ctx.update(msg.substr(split));
+    EXPECT_EQ(ctx.finalize(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, LengthExtensionOfPaddingBoundary) {
+  // 55 and 56 input bytes straddle the one-vs-two padding block boundary.
+  const std::string a(55, 'p');
+  const std::string b(56, 'p');
+  EXPECT_NE(Sha256::hash(a), Sha256::hash(b));
+}
+
+TEST(Sha256, HexEncoding) {
+  Digest d{};
+  d[0] = 0x00;
+  d[1] = 0xff;
+  d[31] = 0x5a;
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 4), "00ff");
+  EXPECT_EQ(hex.substr(62, 2), "5a");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  std::vector<std::string> inputs = {"", "a", "b", "ab", "ba", "aa", "abc"};
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    for (std::size_t j = i + 1; j < inputs.size(); ++j)
+      EXPECT_NE(Sha256::hash(inputs[i]), Sha256::hash(inputs[j]))
+          << inputs[i] << " vs " << inputs[j];
+}
+
+}  // namespace
+}  // namespace crusader::crypto

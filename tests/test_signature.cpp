@@ -1,0 +1,124 @@
+#include "crypto/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crusader::crypto {
+namespace {
+
+class SignatureSchemes : public ::testing::TestWithParam<Pki::Kind> {};
+
+TEST_P(SignatureSchemes, SignVerifyRoundTrip) {
+  Pki pki(4, GetParam(), 1);
+  const auto payload = make_pulse_payload(7);
+  const Signature sig = pki.sign(2, payload);
+  EXPECT_TRUE(pki.verify(sig, payload));
+  EXPECT_EQ(sig.signer, 2u);
+}
+
+TEST_P(SignatureSchemes, RejectsWrongPayload) {
+  Pki pki(4, GetParam(), 1);
+  const Signature sig = pki.sign(2, make_pulse_payload(7));
+  EXPECT_FALSE(pki.verify(sig, make_pulse_payload(8)));
+}
+
+TEST_P(SignatureSchemes, RejectsTamperedSignerClaim) {
+  Pki pki(4, GetParam(), 1);
+  const auto payload = make_pulse_payload(7);
+  Signature sig = pki.sign(2, payload);
+  sig.signer = 3;  // claim a different signer without its key
+  EXPECT_FALSE(pki.verify(sig, payload));
+}
+
+TEST_P(SignatureSchemes, RejectsTamperedTag) {
+  Pki pki(4, GetParam(), 1);
+  const auto payload = make_pulse_payload(7);
+  Signature sig = pki.sign(2, payload);
+  sig.tag[0] ^= 0x01;
+  EXPECT_FALSE(pki.verify(sig, payload));
+}
+
+TEST_P(SignatureSchemes, RejectsFabricatedSignature) {
+  Pki pki(4, GetParam(), 1);
+  const auto payload = make_pulse_payload(7);
+  Signature forged;
+  forged.signer = 1;
+  forged.payload_hash = payload.hash();
+  // tag left default — a forger without the key cannot do better than guess.
+  EXPECT_FALSE(pki.verify(forged, payload));
+}
+
+TEST_P(SignatureSchemes, NoncesYieldDistinctValidSignatures) {
+  // Models randomized signing by a Byzantine signer: both are valid, but
+  // they are different bit strings.
+  Pki pki(4, GetParam(), 1);
+  const auto payload = make_pulse_payload(3);
+  const Signature a = pki.sign(1, payload, 0);
+  const Signature b = pki.sign(1, payload, 1);
+  EXPECT_TRUE(pki.verify(a, payload));
+  EXPECT_TRUE(pki.verify(b, payload));
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST_P(SignatureSchemes, CountsOperations) {
+  Pki pki(2, GetParam(), 1);
+  const auto payload = make_ready_payload(1);
+  const Signature sig = pki.sign(0, payload);
+  (void)pki.verify(sig, payload);
+  (void)pki.verify(sig, payload);
+  EXPECT_EQ(pki.sign_count(), 1u);
+  EXPECT_EQ(pki.verify_count(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SignatureSchemes,
+                         ::testing::Values(Pki::Kind::kSymbolic,
+                                           Pki::Kind::kHmac),
+                         [](const auto& info) {
+                           return info.param == Pki::Kind::kSymbolic
+                                      ? "Symbolic"
+                                      : "Hmac";
+                         });
+
+TEST(SignedPayload, DistinctPayloadBuilders) {
+  EXPECT_NE(make_pulse_payload(1).hash(), make_pulse_payload(2).hash());
+  EXPECT_NE(make_pulse_payload(1).hash(), make_ready_payload(1).hash());
+  EXPECT_NE(make_value_payload(1, 0, 0.5).hash(),
+            make_value_payload(1, 1, 0.5).hash());
+  EXPECT_NE(make_value_payload(1, 0, 0.5).hash(),
+            make_value_payload(1, 0, 0.5000001).hash());
+  EXPECT_EQ(make_value_payload(2, 3, -1.25).hash(),
+            make_value_payload(2, 3, -1.25).hash());
+}
+
+TEST(KnowledgeTracker, LearnsAndAnswers) {
+  Pki pki(3, Pki::Kind::kSymbolic, 1);
+  const auto payload = make_pulse_payload(1);
+  const Signature sig = pki.sign(0, payload);
+  KnowledgeTracker tracker;
+  EXPECT_FALSE(tracker.knows(sig));
+  tracker.learn(sig);
+  EXPECT_TRUE(tracker.knows(sig));
+  EXPECT_EQ(tracker.size(), 1u);
+}
+
+TEST(KnowledgeTracker, DistinguishesNonces) {
+  Pki pki(3, Pki::Kind::kSymbolic, 1);
+  const auto payload = make_pulse_payload(1);
+  KnowledgeTracker tracker;
+  tracker.learn(pki.sign(0, payload, 0));
+  EXPECT_FALSE(tracker.knows(pki.sign(0, payload, 1)));
+}
+
+TEST(HmacSchemeDeterminism, SameSeedSameKeys) {
+  HmacScheme a(3, 42), b(3, 42);
+  const auto payload = make_pulse_payload(5);
+  EXPECT_EQ(a.sign(1, payload, 0).tag, b.sign(1, payload, 0).tag);
+}
+
+TEST(HmacSchemeDeterminism, DifferentSeedDifferentKeys) {
+  HmacScheme a(3, 42), b(3, 43);
+  const auto payload = make_pulse_payload(5);
+  EXPECT_NE(a.sign(1, payload, 0).tag, b.sign(1, payload, 0).tag);
+}
+
+}  // namespace
+}  // namespace crusader::crypto

@@ -1,0 +1,156 @@
+// Authenticated Srikanth–Toueg baseline: skew ≤ d at f = ⌈n/2⌉ − 1 — the
+// Θ(d)-skew comparison point of the paper ([28], [21], [2]).
+
+#include "baselines/srikanth_toueg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversaries.hpp"
+#include "helpers.hpp"
+
+namespace crusader::baselines {
+namespace {
+
+struct StCase {
+  std::uint32_t n;
+  std::uint32_t f_actual;
+  core::ByzStrategy strategy;
+  std::uint64_t seed;
+};
+
+class StResilience : public ::testing::TestWithParam<StCase> {};
+
+TEST_P(StResilience, SkewAtMostDAndLive) {
+  const auto c = GetParam();
+  const auto model = crusader::testing::small_model(
+      c.n, sim::ModelParams::max_faults_signed(c.n));
+
+  const std::size_t rounds = 15;
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kSrikanthToueg, model, c.f_actual, c.strategy, c.seed,
+      rounds, sim::ClockKind::kSpread, sim::DelayKind::kRandom);
+
+  ASSERT_TRUE(result.trace.live(rounds))
+      << "only " << result.trace.complete_rounds() << " rounds";
+  EXPECT_TRUE(result.violations.empty());
+  // Certificate relay bounds the skew by one message delay.
+  EXPECT_LE(result.trace.max_skew(), model.d + 1e-9);
+}
+
+std::vector<StCase> st_cases() {
+  std::vector<StCase> cases;
+  std::uint64_t seed = 600;
+  for (std::uint32_t n : {3u, 5u, 8u}) {
+    const std::uint32_t f = sim::ModelParams::max_faults_signed(n);
+    for (auto strategy :
+         {core::ByzStrategy::kCrash, core::ByzStrategy::kRandom,
+          core::ByzStrategy::kReplay}) {
+      cases.push_back(StCase{n, f, strategy, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StResilience, ::testing::ValuesIn(st_cases()),
+    [](const ::testing::TestParamInfo<StCase>& info) {
+      const auto& c = info.param;
+      std::string name = core::to_string(c.strategy);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return "n" + std::to_string(c.n) + "_f" + std::to_string(c.f_actual) +
+             "_" + name;
+    });
+
+TEST(SrikanthToueg, CrashFaultsOnlyGiveUScaleSkew) {
+  // Without Byzantine help ST's pulses are all triggered by the same last
+  // ready broadcast, so the skew collapses to delay-uncertainty scale — the
+  // Θ(d) skew is *adversarial*, not average-case.
+  sim::ModelParams model = crusader::testing::small_model(5, 2);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kSrikanthToueg, model, 2, core::ByzStrategy::kCrash, 5,
+      15, sim::ClockKind::kSpread, sim::DelayKind::kSplit);
+  ASSERT_TRUE(result.trace.live(15));
+  EXPECT_LT(result.trace.max_skew(5), 5.0 * model.u);
+}
+
+TEST(SrikanthToueg, AcceleratorAttackRealizesOrderDSkew) {
+  // The headline gap (paper, Section 1): ST's worst-case skew is Θ(d); CPS
+  // holds Θ(u + (ϑ−1)d). Faulty nodes complete one target's certificates
+  // early; the target pulses a full message delay before everyone else.
+  sim::ModelParams model = crusader::testing::small_model(5, 2);
+  model.u = 0.002;
+  model.u_tilde = 0.002;
+  const auto setup = make_setup(ProtocolKind::kSrikanthToueg, model);
+  const auto cps_setup = make_setup(ProtocolKind::kCps, model);
+  ASSERT_TRUE(cps_setup.feasible);
+
+  auto honest = make_protocol_factory(setup);
+  auto byz = core::make_st_accelerator_factory(/*target=*/4);
+  auto config = crusader::testing::world_config(model, setup, 15, 5);
+  config.faulty = sim::default_faulty_set(2);
+  sim::World world(config, honest, byz);
+  const auto st = world.run();
+
+  const auto cps = crusader::testing::run_protocol(
+      ProtocolKind::kCps, model, 2, core::ByzStrategy::kPullEarly, 5, 15,
+      sim::ClockKind::kSpread, sim::DelayKind::kSplit);
+
+  ASSERT_TRUE(st.trace.live(15));
+  ASSERT_TRUE(cps.trace.live(15));
+  const double st_skew = st.trace.max_skew(5);
+  const double cps_skew = cps.trace.max_skew(5);
+  EXPECT_GT(st_skew, 0.5 * model.d)
+      << "accelerator should force d-scale skew";
+  EXPECT_LE(cps_skew, cps_setup.cps.S + 1e-9);
+  EXPECT_GT(st_skew, 5.0 * cps_skew)
+      << "ST skew " << st_skew << " vs CPS " << cps_skew;
+}
+
+TEST(SrikanthToueg, FaultyCanAccelerateButNotDesynchronize) {
+  // Byzantine signatures can complete certificates early (rounds speed up),
+  // but skew stays ≤ d and rounds stay ordered.
+  const auto model = crusader::testing::small_model(5, 2);
+  const auto result = crusader::testing::run_protocol(
+      ProtocolKind::kSrikanthToueg, model, 2, core::ByzStrategy::kRandom, 17,
+      15);
+  ASSERT_TRUE(result.trace.live(15));
+  EXPECT_LE(result.trace.max_skew(), model.d + 1e-9);
+  EXPECT_GT(result.trace.min_period(), 0.0);
+}
+
+TEST(SrikanthToueg, CertificatesCarrySignatures) {
+  const auto model = crusader::testing::small_model(4, 1);
+  const auto setup = make_setup(ProtocolKind::kSrikanthToueg, model);
+  std::vector<SrikanthTouegNode*> nodes(model.n, nullptr);
+  StConfig config;
+  config.params = setup.st;
+  sim::HonestFactory honest = [&nodes, config](NodeId v) {
+    auto node = std::make_unique<SrikanthTouegNode>(config);
+    nodes[v] = node.get();
+    return node;
+  };
+  auto world_config = crusader::testing::world_config(model, setup, 10, 3);
+  sim::World world(world_config, honest, nullptr);
+  const auto result = world.run();
+  EXPECT_GT(result.signatures_carried, 0u);
+  for (auto* node : nodes) {
+    ASSERT_NE(node, nullptr);
+    EXPECT_GT(node->stats().certificates_relayed, 0u);
+    EXPECT_EQ(node->stats().invalid_signatures, 0u);
+  }
+}
+
+TEST(SrikanthToueg, MaxRoundsRespected) {
+  const auto model = crusader::testing::small_model(4, 1);
+  const auto setup = make_setup(ProtocolKind::kSrikanthToueg, model);
+  auto factory = make_protocol_factory(setup, /*max_rounds=*/4);
+  auto config = crusader::testing::world_config(model, setup, 20, 1);
+  sim::World world(config, factory, nullptr);
+  const auto result = world.run();
+  for (NodeId v = 0; v < model.n; ++v)
+    EXPECT_EQ(result.trace.pulse_count(v), 4u);
+}
+
+}  // namespace
+}  // namespace crusader::baselines

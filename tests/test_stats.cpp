@@ -1,0 +1,129 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace crusader::util {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.variance(), 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Samples, QuantilesExact) {
+  Samples s;
+  for (double x : {4.0, 1.0, 3.0, 2.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(Samples, QuantileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(Samples, SingleValue) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW((void)s.min(), CheckFailure);
+  EXPECT_THROW((void)s.quantile(0.5), CheckFailure);
+}
+
+TEST(Samples, AddAllAndResort) {
+  Samples s;
+  s.add_all({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // must invalidate the cached sort
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(LinearFit, ExactLine) {
+  const auto fit = fit_linear({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHighR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * i + 2.0 + 0.01 * std::sin(i * 12.9898));
+  }
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-3);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(LinearFit, ConstantXDegenerates) {
+  const auto fit = fit_linear({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(LinearFit, MismatchedSizesThrow) {
+  EXPECT_THROW((void)fit_linear({1, 2}, {1}), CheckFailure);
+  EXPECT_THROW((void)fit_linear({1}, {1}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::util

@@ -1,0 +1,161 @@
+#include "sync/sync_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace crusader::sync {
+namespace {
+
+/// Records what it receives; sends its id+round to everyone each round.
+class EchoProtocol final : public SyncProtocol {
+ public:
+  EchoProtocol(NodeId self, std::uint32_t n) : self_(self), n_(n) {}
+
+  Outbox send(std::uint32_t round) override {
+    Outbox out;
+    for (NodeId to = 0; to < n_; ++to) {
+      SignedValue entry;
+      entry.dealer = self_;
+      entry.value = static_cast<double>(self_ * 100 + round);
+      out[to].entries.push_back(entry);
+    }
+    return out;
+  }
+
+  void receive(std::uint32_t round, const Inbox& inbox) override {
+    last_round_ = round;
+    last_inbox_ = inbox;
+  }
+
+  std::uint32_t last_round_ = 999;
+  Inbox last_inbox_;
+
+ private:
+  NodeId self_;
+  std::uint32_t n_;
+};
+
+TEST(SyncNetwork, DeliversAllToAll) {
+  crypto::Pki pki(3, crypto::Pki::Kind::kSymbolic, 1);
+  SyncNetwork net(3, {false, false, false}, pki);
+  std::vector<std::unique_ptr<EchoProtocol>> nodes;
+  for (NodeId v = 0; v < 3; ++v) {
+    nodes.push_back(std::make_unique<EchoProtocol>(v, 3));
+    net.set_protocol(v, nodes.back().get());
+  }
+  net.run_round();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(nodes[v]->last_round_, 0u);
+    EXPECT_EQ(nodes[v]->last_inbox_.size(), 3u);  // including self
+    EXPECT_DOUBLE_EQ(nodes[v]->last_inbox_.at(1).entries[0].value, 100.0);
+  }
+  net.run_round();
+  EXPECT_EQ(nodes[0]->last_inbox_.at(2).entries[0].value, 201.0);
+  EXPECT_EQ(net.round(), 2u);
+}
+
+/// Adversary that copies the first honest node's outbox value and claims it
+/// as its own (no honest signatures involved, hence legal).
+class MimicAdversary final : public RushingAdversary {
+ public:
+  explicit MimicAdversary(NodeId bad, std::uint32_t n) : bad_(bad), n_(n) {}
+
+  std::map<NodeId, Outbox> act(std::uint32_t /*round*/,
+                               const std::vector<Outbox>& honest) override {
+    double seen = -1.0;
+    for (const auto& outbox : honest) {
+      if (!outbox.empty() && !outbox.begin()->second.entries.empty()) {
+        seen = outbox.begin()->second.entries[0].value;
+        break;
+      }
+    }
+    saw_value_ = seen;
+    std::map<NodeId, Outbox> out;
+    Outbox outbox;
+    for (NodeId to = 0; to < n_; ++to) {
+      SignedValue entry;
+      entry.dealer = bad_;
+      entry.value = seen;
+      outbox[to].entries.push_back(entry);
+    }
+    out[bad_] = std::move(outbox);
+    return out;
+  }
+
+  double saw_value_ = -2.0;
+
+ private:
+  NodeId bad_;
+  std::uint32_t n_;
+};
+
+TEST(SyncNetwork, RushingAdversarySeesHonestMessagesFirst) {
+  crypto::Pki pki(3, crypto::Pki::Kind::kSymbolic, 1);
+  SyncNetwork net(3, {false, false, true}, pki);
+  std::vector<std::unique_ptr<EchoProtocol>> nodes;
+  for (NodeId v = 0; v < 2; ++v) {
+    nodes.push_back(std::make_unique<EchoProtocol>(v, 3));
+    net.set_protocol(v, nodes.back().get());
+  }
+  MimicAdversary adv(2, 3);
+  net.set_adversary(&adv);
+  net.run_round();
+  // The adversary observed round-0 honest traffic before sending.
+  EXPECT_DOUBLE_EQ(adv.saw_value_, 0.0);  // node 0, round 0
+  // Honest nodes received the mimicked value from the faulty node.
+  EXPECT_DOUBLE_EQ(nodes[0]->last_inbox_.at(2).entries[0].value, 0.0);
+}
+
+/// Adversary that tries to use an honest signature it has never seen.
+class ForgingAdversary final : public RushingAdversary {
+ public:
+  ForgingAdversary(crypto::Pki* pki, NodeId bad) : pki_(pki), bad_(bad) {}
+
+  std::map<NodeId, Outbox> act(std::uint32_t,
+                               const std::vector<Outbox>&) override {
+    std::map<NodeId, Outbox> out;
+    SignedValue entry;
+    entry.dealer = 0;
+    entry.value = 1.0;
+    // An honest node's signature obtained out of band — illegal to use.
+    entry.sig = pki_->sign(0, crypto::make_value_payload(0, 0, 1.0));
+    out[bad_][0].entries.push_back(entry);
+    return out;
+  }
+
+ private:
+  crypto::Pki* pki_;
+  NodeId bad_;
+};
+
+TEST(SyncNetwork, DolevYaoRuleEnforced) {
+  crypto::Pki pki(3, crypto::Pki::Kind::kSymbolic, 1);
+  SyncNetwork net(3, {false, false, true}, pki);
+  std::vector<std::unique_ptr<EchoProtocol>> nodes;
+  for (NodeId v = 0; v < 2; ++v) {
+    nodes.push_back(std::make_unique<EchoProtocol>(v, 3));
+    net.set_protocol(v, nodes.back().get());
+  }
+  ForgingAdversary adv(&pki, 2);
+  net.set_adversary(&adv);
+  EXPECT_THROW(net.run_round(), util::ModelViolation);
+}
+
+TEST(SyncNetwork, ProtocolOnFaultyNodeRejected) {
+  crypto::Pki pki(2, crypto::Pki::Kind::kSymbolic, 1);
+  SyncNetwork net(2, {false, true}, pki);
+  EchoProtocol p(1, 2);
+  EXPECT_THROW(net.set_protocol(1, &p), util::CheckFailure);
+}
+
+TEST(SyncNetwork, MissingProtocolRejected) {
+  crypto::Pki pki(2, crypto::Pki::Kind::kSymbolic, 1);
+  SyncNetwork net(2, {false, false}, pki);
+  EchoProtocol p(0, 2);
+  net.set_protocol(0, &p);
+  EXPECT_THROW(net.run_round(), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::sync

@@ -1,0 +1,129 @@
+// Round synchronizer on top of CPS (paper intro application): exact
+// synchronous-round semantics on the bounded-delay network.
+
+#include "core/synchronizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+
+namespace crusader::core {
+namespace {
+
+using baselines::ProtocolKind;
+
+struct SyncWorldResult {
+  sim::RunResult run;
+  /// Stats copied out before the World (and the nodes it owns) is destroyed.
+  std::vector<SynchronizerStats> stats;
+  std::vector<bool> honest;
+  std::vector<std::map<Round, double>> mins;  // per node: round → local min
+};
+
+/// Min-propagation application: every node starts with a value; each round
+/// it broadcasts its current minimum and folds in what it received. After
+/// (diameter = 1) + slack rounds all honest nodes hold the global minimum —
+/// a textbook synchronous algorithm that only works if round semantics hold.
+SyncWorldResult run_min_propagation(std::uint32_t n, std::uint32_t f_actual,
+                                    std::size_t rounds, std::uint64_t seed) {
+  const auto model = crusader::testing::small_model(
+      n, sim::ModelParams::max_faults_signed(n));
+  const auto setup = baselines::make_setup(ProtocolKind::kCps, model);
+
+  SyncWorldResult out;
+  out.stats.resize(n);
+  out.honest.assign(n, true);
+  out.mins.resize(n);
+  std::vector<SynchronizerNode*> nodes(n, nullptr);
+
+  CpsConfig cps_config;
+  cps_config.params = setup.cps;
+
+  sim::HonestFactory honest = [&, cps_config](NodeId v) {
+    auto shared_min = std::make_shared<double>(100.0 + v);
+    RoundFn fn = [&out, v, shared_min](
+                     Round round,
+                     const std::vector<AppMessage>& inbox) {
+      for (const AppMessage& m : inbox)
+        *shared_min = std::min(*shared_min, m.value);
+      out.mins[v][round] = *shared_min;
+      return std::vector<AppMessage>{AppMessage{kInvalidNode, *shared_min}};
+    };
+    auto node = std::make_unique<SynchronizerNode>(
+        std::make_unique<CpsNode>(cps_config), fn);
+    nodes[v] = node.get();
+    return node;
+  };
+
+  auto config = crusader::testing::world_config(model, setup, rounds, seed);
+  config.faulty = sim::default_faulty_set(f_actual);
+  for (NodeId v = 0; v < f_actual; ++v) out.honest[v] = false;
+  sim::ByzantineFactory byz;
+  if (f_actual > 0)
+    byz = make_byzantine_factory(ByzStrategy::kRandom, honest, seed);
+  sim::World world(config, honest, byz);
+  out.run = world.run();
+  for (NodeId v = 0; v < n; ++v)
+    if (nodes[v] != nullptr) out.stats[v] = nodes[v]->stats();
+  return out;
+}
+
+TEST(Synchronizer, NoLateMessagesFaultFree) {
+  const auto result = run_min_propagation(4, 0, 15, 3);
+  for (NodeId v = 0; v < 4; ++v) {
+    const auto& stats = result.stats[v];
+    EXPECT_GE(stats.rounds_started, 15u);
+    EXPECT_GT(stats.app_messages_received, 0u);
+    EXPECT_EQ(stats.late_messages, 0u) << "synchronizer guarantee violated";
+  }
+}
+
+TEST(Synchronizer, MinPropagationConverges) {
+  const std::uint32_t n = 5;
+  const auto result = run_min_propagation(n, 0, 12, 7);
+  // Fully connected: after round 2 every honest node holds the global min
+  // (round 1 pulses send the values; round 2 delivers them).
+  const double global_min = 100.0;  // node 0's initial value
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& mins = result.mins[v];
+    ASSERT_FALSE(mins.empty());
+    for (const auto& [round, value] : mins) {
+      if (round >= 3) {
+        EXPECT_DOUBLE_EQ(value, global_min) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(Synchronizer, SurvivesByzantineNodes) {
+  const std::uint32_t n = 5;
+  const auto result = run_min_propagation(n, 2, 12, 11);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!result.honest[v]) continue;  // faulty slots
+    EXPECT_EQ(result.stats[v].late_messages, 0u);
+    EXPECT_GE(result.stats[v].rounds_started, 12u);
+  }
+  // Honest nodes 2,3,4 propagate among themselves: min of {102,103,104}.
+  for (NodeId v = 2; v < n; ++v) {
+    const auto& mins = result.mins[v];
+    for (const auto& [round, value] : mins) {
+      if (round >= 3) {
+        EXPECT_LE(value, 102.0) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(Synchronizer, RoundsTrackPulses) {
+  const auto result = run_min_propagation(4, 0, 10, 5);
+  // Every pulse starts exactly one round.
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(result.stats[v].rounds_started,
+              result.run.trace.pulse_count(v));
+  }
+}
+
+}  // namespace
+}  // namespace crusader::core

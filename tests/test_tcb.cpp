@@ -1,0 +1,173 @@
+// Unit tests for the Figure-2 state machine (TcbInstance): acceptance
+// window, echo guard, poisoning, and the Lemma 10/11 behaviours.
+
+#include "core/tcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace crusader::core {
+namespace {
+
+// Canonical constants: L=10, W=2, guard=0.9 (d=1, u=0.05-ish scales).
+TcbInstance::Config config() {
+  return TcbInstance::Config{10.0, 2.0, 0.9};
+}
+
+TEST(TcbInstance, AcceptsInsideWindowAndOutputsAfterGuard) {
+  TcbInstance inst(3, config());
+  EXPECT_EQ(inst.state(), TcbInstance::State::kWaiting);
+  EXPECT_TRUE(inst.on_direct(10.5));
+  EXPECT_EQ(inst.state(), TcbInstance::State::kAccepted);
+  EXPECT_DOUBLE_EQ(inst.accept_time(), 10.5);
+  EXPECT_DOUBLE_EQ(inst.guard_deadline(), 11.4);
+  inst.on_guard_elapsed();
+  ASSERT_TRUE(inst.done());
+  ASSERT_TRUE(inst.output().has_value());
+  EXPECT_DOUBLE_EQ(*inst.output(), 10.5);
+}
+
+TEST(TcbInstance, RejectsBeforeWindowOpens) {
+  // Boundary points carry the documented slack (sim::kBoundarySlack);
+  // rejection applies strictly before the window.
+  TcbInstance inst(3, config());
+  EXPECT_FALSE(inst.on_direct(10.0 - 1e-6));
+  EXPECT_FALSE(inst.on_direct(9.5));
+  EXPECT_EQ(inst.state(), TcbInstance::State::kWaiting);
+}
+
+TEST(TcbInstance, AcceptsExactlyAtWindowClose) {
+  // The Lemma-10 worst case achieves the window close with equality; the
+  // simulator accepts it (see kBoundarySlack).
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(12.0));
+}
+
+TEST(TcbInstance, RejectsAfterWindowCloses) {
+  TcbInstance inst(3, config());
+  EXPECT_FALSE(inst.on_direct(12.0 + 1e-5));  // beyond the slack
+  EXPECT_FALSE(inst.on_direct(13.0));
+  inst.on_window_close();
+  ASSERT_TRUE(inst.done());
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST(TcbInstance, SecondDirectIgnored) {
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(10.5));
+  EXPECT_FALSE(inst.on_direct(10.6));  // duplicate from the dealer
+  inst.on_guard_elapsed();
+  EXPECT_DOUBLE_EQ(*inst.output(), 10.5);
+}
+
+TEST(TcbInstance, EarlyThirdPartyPoisons) {
+  // Echo observed before the direct message: instance must end ⊥, but the
+  // direct message is still "accepted" (and must be forwarded).
+  TcbInstance inst(3, config());
+  inst.on_third_party(10.2);
+  EXPECT_TRUE(inst.on_direct(10.5));  // forward happens
+  ASSERT_TRUE(inst.done());           // …but output is ⊥
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST(TcbInstance, ThirdPartyInsideGuardRejects) {
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(10.5));
+  inst.on_third_party(11.0);  // 11.0 < 10.5 + 0.9
+  ASSERT_TRUE(inst.done());
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST(TcbInstance, ThirdPartyAtGuardBoundaryHarmless) {
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(10.5));
+  inst.on_third_party(11.4);  // exactly h + guard: outside the open interval
+  EXPECT_FALSE(inst.done());
+  inst.on_guard_elapsed();
+  ASSERT_TRUE(inst.output().has_value());
+}
+
+TEST(TcbInstance, ThirdPartyAfterGuardHarmless) {
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(10.5));
+  inst.on_guard_elapsed();
+  inst.on_third_party(11.5);
+  ASSERT_TRUE(inst.output().has_value());
+  EXPECT_DOUBLE_EQ(*inst.output(), 10.5);
+}
+
+TEST(TcbInstance, ThirdPartyBeforePulseIgnored) {
+  // Figure 2: the reject window starts at H_v(p_v); earlier copies do not
+  // count (they belong to no instance).
+  TcbInstance inst(3, config());
+  inst.on_third_party(9.8);
+  EXPECT_TRUE(inst.on_direct(10.5));
+  EXPECT_FALSE(inst.done());  // not poisoned
+  inst.on_guard_elapsed();
+  EXPECT_TRUE(inst.output().has_value());
+}
+
+TEST(TcbInstance, TimeoutYieldsBot) {
+  TcbInstance inst(3, config());
+  inst.on_window_close();
+  ASSERT_TRUE(inst.done());
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST(TcbInstance, WindowCloseAfterAcceptKeepsWaitingForGuard) {
+  TcbInstance inst(3, config());
+  EXPECT_TRUE(inst.on_direct(11.9));
+  inst.on_window_close();
+  EXPECT_FALSE(inst.done());
+  inst.on_guard_elapsed();
+  EXPECT_TRUE(inst.output().has_value());
+}
+
+TEST(TcbInstance, GuardBeforeAcceptIsNoop) {
+  TcbInstance inst(3, config());
+  inst.on_guard_elapsed();
+  EXPECT_EQ(inst.state(), TcbInstance::State::kWaiting);
+}
+
+TEST(TcbInstance, EventsAfterDoneIgnored) {
+  TcbInstance inst(3, config());
+  inst.on_window_close();
+  ASSERT_TRUE(inst.done());
+  EXPECT_FALSE(inst.on_direct(10.5));
+  inst.on_third_party(10.6);
+  inst.on_guard_elapsed();
+  EXPECT_FALSE(inst.output().has_value());
+}
+
+TEST(TcbInstance, OutputBeforeDoneThrows) {
+  TcbInstance inst(3, config());
+  EXPECT_THROW((void)inst.output(), util::CheckFailure);
+  EXPECT_THROW((void)inst.accept_time(), util::CheckFailure);
+}
+
+TEST(TcbInstance, RejectsNonPositiveGuard) {
+  EXPECT_THROW(TcbInstance(0, TcbInstance::Config{0.0, 1.0, 0.0}),
+               util::CheckFailure);
+  EXPECT_THROW(TcbInstance(0, TcbInstance::Config{0.0, 0.0, 0.5}),
+               util::CheckFailure);
+}
+
+// Lemma 11 scenario check at the state-machine level: two nodes accept the
+// same (faulty) dealer at times differing by more than the guard allows once
+// echoes propagate. Modeled here abstractly: if v accepts at h_v and w's echo
+// (sent at its accept time h_w, arriving ≥ d−u later ≈ within guard) lands
+// inside (h_v, h_v+guard), v rejects.
+TEST(TcbInstance, SpreadAcceptanceCollapsesViaEcho) {
+  TcbInstance late(3, config());
+  // Dealer reached this node late in its window:
+  EXPECT_TRUE(late.on_direct(11.5));
+  // Another honest node accepted much earlier (say 10.1) and echoed; the
+  // echo arrives here around 10.1 + d ≈ 11.1… (local), within the guard:
+  late.on_third_party(11.9);  // 11.9 < 11.5 + 0.9 = 12.4 → reject
+  ASSERT_TRUE(late.done());
+  EXPECT_FALSE(late.output().has_value());
+}
+
+}  // namespace
+}  // namespace crusader::core

@@ -1,0 +1,92 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace crusader::sim {
+namespace {
+
+PulseTrace make_trace() {
+  // 3 nodes, node 2 faulty. Honest pulses:
+  //   node 0: 1.0, 3.0, 5.0
+  //   node 1: 1.2, 3.1, 5.4
+  PulseTrace trace(3, {false, false, true});
+  trace.record(0, 1.0, 1.0);
+  trace.record(1, 1.2, 1.2);
+  trace.record(0, 3.0, 3.0);
+  trace.record(1, 3.1, 3.1);
+  trace.record(0, 5.0, 5.0);
+  trace.record(1, 5.4, 5.4);
+  trace.record(2, 100.0, 100.0);  // faulty noise, ignored by metrics
+  return trace;
+}
+
+TEST(PulseTrace, SkewPerRound) {
+  const auto trace = make_trace();
+  EXPECT_NEAR(trace.skew(0), 0.2, 1e-12);
+  EXPECT_NEAR(trace.skew(1), 0.1, 1e-12);
+  EXPECT_NEAR(trace.skew(2), 0.4, 1e-12);
+}
+
+TEST(PulseTrace, MaxSkewAndWindow) {
+  const auto trace = make_trace();
+  EXPECT_NEAR(trace.max_skew(), 0.4, 1e-12);
+  EXPECT_NEAR(trace.max_skew(1), 0.4, 1e-12);
+  EXPECT_NEAR(trace.max_skew(2), 0.4, 1e-12);
+}
+
+TEST(PulseTrace, CompleteRoundsIsHonestMin) {
+  PulseTrace trace(2, {false, false});
+  trace.record(0, 1.0, 1.0);
+  trace.record(0, 2.0, 2.0);
+  trace.record(1, 1.1, 1.1);
+  EXPECT_EQ(trace.complete_rounds(), 1u);
+}
+
+TEST(PulseTrace, PeriodsMatchDefinition3) {
+  const auto trace = make_trace();
+  // P_min = min over r of (min p_{r+1} − max p_r):
+  //   r=0: min(3.0,3.1) − max(1.0,1.2) = 1.8
+  //   r=1: min(5.0,5.4) − max(3.0,3.1) = 1.9
+  EXPECT_NEAR(trace.min_period(), 1.8, 1e-12);
+  // P_max = max over r of (max p_{r+1} − min p_r):
+  //   r=0: 3.1 − 1.0 = 2.1 ; r=1: 5.4 − 3.0 = 2.4
+  EXPECT_NEAR(trace.max_period(), 2.4, 1e-12);
+}
+
+TEST(PulseTrace, Liveness) {
+  const auto trace = make_trace();
+  EXPECT_TRUE(trace.live(3));
+  EXPECT_FALSE(trace.live(4));
+}
+
+TEST(PulseTrace, HonestSet) {
+  const auto trace = make_trace();
+  EXPECT_EQ(trace.honest(), (std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(trace.is_faulty(2));
+  EXPECT_FALSE(trace.is_faulty(0));
+}
+
+TEST(PulseTrace, MonotonicityEnforced) {
+  PulseTrace trace(1, {false});
+  trace.record(0, 2.0, 2.0);
+  EXPECT_THROW(trace.record(0, 1.0, 1.0), util::CheckFailure);
+}
+
+TEST(PulseTrace, SkewsVector) {
+  const auto trace = make_trace();
+  const auto skews = trace.skews();
+  ASSERT_EQ(skews.size(), 3u);
+  EXPECT_NEAR(skews[0], 0.2, 1e-12);
+  EXPECT_NEAR(skews[2], 0.4, 1e-12);
+}
+
+TEST(PulseTrace, OutOfRangeQueriesThrow) {
+  const auto trace = make_trace();
+  EXPECT_THROW((void)trace.pulse_time(0, 9), util::CheckFailure);
+  EXPECT_THROW((void)trace.pulse_time(7, 0), util::CheckFailure);
+}
+
+}  // namespace
+}  // namespace crusader::sim
