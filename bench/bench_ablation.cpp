@@ -13,6 +13,10 @@
 //      window — and honest broadcasts are lost (validity, Lemma 10).
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/cps.hpp"

@@ -3,6 +3,9 @@
 // EXPERIMENTS.md). Every bench prints one or more paper-style tables to
 // stdout via util::Table.
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <iostream>
 #include <memory>
 #include <vector>

@@ -9,6 +9,8 @@
 // ST stays pinned at d-scale — the smaller u and ϑ−1, the bigger CPS's win.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 
 #include "bench_common.hpp"
 

@@ -5,6 +5,9 @@
 // assignments, the analytic S, their ratio, liveness and ⊥ activity.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "bench_common.hpp"
 

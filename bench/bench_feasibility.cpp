@@ -8,6 +8,8 @@
 //          i.e. S ∈ Θ(u + (ϑ−1)d).
 
 #include "bench_common.hpp"
+
+#include <vector>
 #include "core/params.hpp"
 #include "util/stats.hpp"
 

@@ -6,7 +6,11 @@
 // exponent.
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/stats.hpp"

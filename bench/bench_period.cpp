@@ -2,6 +2,8 @@
 // (T − (ϑ+1)S)/ϑ and T + 3S, across adversaries and clock assignments.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 
 #include "bench_common.hpp"
 

@@ -4,6 +4,9 @@
 // two-faced split-timing attack nothing unsigned can detect.
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "baselines/lynch_welch.hpp"
 #include "bench_common.hpp"

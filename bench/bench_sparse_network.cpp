@@ -8,6 +8,12 @@
 //          the [4]-style path-length dependence.
 
 #include "bench_common.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 #include "core/cps.hpp"
 #include "relay/flood_world.hpp"
 #include "relay/topology.hpp"

@@ -7,7 +7,13 @@
 //   |Δ_{v,x} − Δ_{w,x} − (p_w − p_v)| < δ.
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 

@@ -2,6 +2,9 @@
 // clocks, crypto, and end-to-end CPS simulation throughput.
 
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "bench_common.hpp"
 #include "crypto/hmac.hpp"

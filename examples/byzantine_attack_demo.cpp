@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "baselines/factories.hpp"
 #include "baselines/lynch_welch.hpp"

@@ -13,10 +13,15 @@
 //   crusader_cli --lower-bound --u-tilde 0.3
 //   crusader_cli --topology cliques --n 12 --faulty 2
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/factories.hpp"

@@ -7,6 +7,7 @@
 // are separated by more than the skew bound — a happens-before guarantee
 // with a quantified real-time resolution.
 
+#include <algorithm>
 #include <iostream>
 
 #include "baselines/factories.hpp"

@@ -3,6 +3,7 @@
 // interconnects" layout — with two crashed nodes, over signed relay paths.
 
 #include <iostream>
+#include <memory>
 
 #include "core/cps.hpp"
 #include "core/params.hpp"

@@ -6,9 +6,13 @@
 // semantics the honest maximum propagates in one round; stragglers or lost
 // round boundaries would show up as `late messages` > 0.
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/factories.hpp"
 #include "core/adversaries.hpp"

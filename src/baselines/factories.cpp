@@ -1,5 +1,7 @@
 #include "baselines/factories.hpp"
 
+#include <memory>
+
 #include "baselines/lynch_welch.hpp"
 #include "baselines/srikanth_toueg.hpp"
 #include "core/cps.hpp"

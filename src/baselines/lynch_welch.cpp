@@ -1,6 +1,10 @@
 #include "baselines/lynch_welch.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "sync/approx_agreement.hpp"

@@ -1,5 +1,7 @@
 #include "baselines/srikanth_toueg.hpp"
 
+#include <cstdint>
+
 #include "util/check.hpp"
 
 namespace crusader::baselines {

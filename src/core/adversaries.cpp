@@ -1,6 +1,11 @@
 #include "core/adversaries.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "core/cps.hpp"
 #include "sim/node.hpp"

@@ -1,6 +1,9 @@
 #include "core/clock_service.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "util/check.hpp"
 

@@ -20,6 +20,7 @@
 //   * cross-node skew ≤ Λ·(1 + (S + (P_max − T_nom))/T_nom) — coarser than
 //     the offline interpolation, the price of being online.
 
+#include <cstdint>
 #include <memory>
 
 #include "sim/env.hpp"

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "sync/approx_agreement.hpp"

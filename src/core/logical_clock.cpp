@@ -1,6 +1,8 @@
 #include "core/logical_clock.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -11,6 +11,7 @@
 // Λ·(S/P_min + (P_max−P_min)/P_min) and rates stay within
 // [Λ/(ϑ·P_max), Λ·ϑ/P_min].
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/hardware_clock.hpp"

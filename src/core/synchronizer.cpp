@@ -1,6 +1,9 @@
 #include "core/synchronizer.hpp"
 
+#include <cstdint>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -9,6 +9,7 @@
 // every receiver's pulse r+1, so delivering the buffered round-r messages at
 // pulse r+1 yields exact synchronous-round semantics.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

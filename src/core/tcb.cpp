@@ -1,5 +1,7 @@
 #include "core/tcb.hpp"
 
+#include <optional>
+
 #include "sim/time.hpp"
 #include "util/check.hpp"
 

@@ -1,7 +1,11 @@
 #include "crypto/hmac.hpp"
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <span>
+#include <string>
 
 namespace crusader::crypto {
 

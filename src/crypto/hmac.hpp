@@ -1,6 +1,7 @@
 #pragma once
 // HMAC-SHA256 (RFC 2104 / FIPS 198-1) built on our SHA-256.
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>

@@ -1,6 +1,12 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <span>
+#include <string>
 
 #include "util/check.hpp"
 

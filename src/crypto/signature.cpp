@@ -1,7 +1,13 @@
 #include "crypto/signature.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <sstream>
+#include <string>
 
 #include "crypto/hmac.hpp"
 #include "util/check.hpp"

@@ -15,6 +15,8 @@
 // signature after some faulty node received it — is enforced by
 // `KnowledgeTracker`, fed by the network layer.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

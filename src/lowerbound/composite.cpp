@@ -1,5 +1,12 @@
 #include "lowerbound/composite.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "util/check.hpp"
 
 namespace crusader::lowerbound {

@@ -18,6 +18,7 @@
 // Restrictions (checked): inner protocols must be broadcast-only (CPS, LW,
 // ST all are) and use timer tags below 2^56 (CPS's tag encoding fits).
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

@@ -1,5 +1,10 @@
 #include "lowerbound/local_env.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 #include "lowerbound/triple_execution.hpp"
 #include "util/check.hpp"
 

@@ -3,6 +3,7 @@
 // node purely through local-time events, with message transfer and timer
 // scheduling delegated to the TripleExecution that owns it.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

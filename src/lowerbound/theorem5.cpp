@@ -1,5 +1,7 @@
 #include "lowerbound/theorem5.hpp"
 
+#include <cstddef>
+
 #include "util/check.hpp"
 
 namespace crusader::lowerbound {

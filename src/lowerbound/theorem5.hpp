@@ -3,6 +3,8 @@
 // protocol and report realized vs. bound skew.
 
 #include "baselines/factories.hpp"
+
+#include <cstddef>
 #include "lowerbound/triple_execution.hpp"
 
 namespace crusader::lowerbound {

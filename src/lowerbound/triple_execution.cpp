@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "util/check.hpp"
 

@@ -26,7 +26,10 @@
 // once every view is past the ramp, forcing max_i skew_i ≥ 2ũ/3.
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "crypto/signature.hpp"
 #include "lowerbound/local_env.hpp"

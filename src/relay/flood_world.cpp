@@ -1,7 +1,11 @@
 #include "relay/flood_world.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "util/check.hpp"
 

@@ -23,6 +23,7 @@
 // Protocol nodes run completely unchanged — they just receive the effective
 // ModelParams. This is exactly the paper's translation statement.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>

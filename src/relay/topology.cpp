@@ -1,9 +1,11 @@
 #include "relay/topology.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "util/check.hpp"
 

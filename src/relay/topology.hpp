@@ -4,6 +4,7 @@
 // connectivity (faulty nodes can only drop or delay signed messages, never
 // alter them, so one fault-free path suffices).
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

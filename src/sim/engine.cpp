@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 

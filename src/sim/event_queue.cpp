@@ -1,5 +1,8 @@
 #include "sim/event_queue.hpp"
 
+#include <cstddef>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace crusader::sim {

@@ -3,6 +3,7 @@
 // Equal-time events fire in insertion order, which makes every run with the
 // same seed bit-reproducible.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

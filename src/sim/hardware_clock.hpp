@@ -6,6 +6,7 @@
 // [1, vartheta]; builders below cover the assignments used by tests, benches
 // and the lower-bound construction.
 
+#include <cstddef>
 #include <vector>
 
 #include "util/rng.hpp"

@@ -1,6 +1,13 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "util/check.hpp"

@@ -8,9 +8,11 @@
 // signature after some faulty node has received it.
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/signature.hpp"

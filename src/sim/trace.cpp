@@ -1,7 +1,11 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -2,6 +2,7 @@
 // Pulse traces and the Definition-3 quality metrics computed from them:
 // skew, minimum period, maximum period, liveness.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "sim/trace_io.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <iomanip>
 #include <limits>
 #include <ostream>

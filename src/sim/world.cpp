@@ -1,6 +1,11 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

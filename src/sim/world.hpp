@@ -2,6 +2,7 @@
 // World: assembles engine + clocks + network + nodes into one adversarial
 // execution and runs it to a horizon.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>

@@ -12,6 +12,7 @@
 // Theorem 9: one iteration is (ℓ, ℓ/2, ⌈n/2⌉−1)-secure. Corollary 2:
 // ⌈log₂(ℓ/ε)⌉ iterations (2⌈log₂(ℓ/ε)⌉ rounds) give ε-consistency.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

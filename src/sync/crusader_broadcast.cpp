@@ -1,6 +1,8 @@
 #include "sync/crusader_broadcast.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 
 #include "util/check.hpp"
 

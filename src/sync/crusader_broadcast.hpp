@@ -14,7 +14,9 @@
 //
 // Generalized from bits to real values, which is what APA needs.
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "sync/sync_net.hpp"
 

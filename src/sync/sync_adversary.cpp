@@ -1,7 +1,11 @@
 #include "sync/sync_adversary.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -6,6 +6,7 @@
 // they sign only with faulty keys and replay only observed honest signatures
 // (the executor enforces this).
 
+#include <cstdint>
 #include <map>
 #include <vector>
 

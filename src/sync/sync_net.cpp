@@ -1,6 +1,10 @@
 #include "sync/sync_net.hpp"
 
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

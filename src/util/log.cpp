@@ -1,5 +1,8 @@
 #include "util/log.hpp"
 
+#include <iostream>
+#include <string>
+
 namespace crusader::util {
 
 namespace {

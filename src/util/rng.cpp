@@ -1,5 +1,7 @@
 #include "util/rng.hpp"
 
+#include <cstdint>
+
 namespace crusader::util {
 
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {

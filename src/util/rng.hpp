@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <random>
 
 namespace crusader::util {
 

@@ -1,9 +1,13 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

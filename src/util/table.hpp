@@ -2,6 +2,7 @@
 // ASCII table / CSV writer used by every benchmark binary so that all
 // experiment tables share one consistent, paper-style format.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

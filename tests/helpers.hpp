@@ -1,6 +1,8 @@
 #pragma once
 // Shared test plumbing: canonical model parameter sets and world builders.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

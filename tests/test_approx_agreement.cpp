@@ -4,13 +4,14 @@
 
 #include "sync/approx_agreement.hpp"
 
-#include <gtest/gtest.h>
-
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <gtest/gtest.h>
 #include <memory>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "sync/sync_adversary.hpp"
 #include "util/check.hpp"

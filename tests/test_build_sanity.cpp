@@ -1,0 +1,45 @@
+// Build/link smoke test: instantiate one world per ProtocolKind and run two
+// pulse rounds. Catches link or startup breakage of any layer with a single
+// fast target before the full suite runs.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "baselines/factories.hpp"
+#include "helpers.hpp"
+
+namespace crusader {
+namespace {
+
+class BuildSanity : public ::testing::TestWithParam<baselines::ProtocolKind> {};
+
+TEST_P(BuildSanity, TwoRoundsRunClean) {
+  const auto kind = GetParam();
+  const auto model = testing::small_model(4, 1);
+  const auto result = testing::run_protocol(kind, model, /*f_actual=*/0,
+                                            core::ByzStrategy::kCrash,
+                                            /*seed=*/7, /*rounds=*/2);
+  EXPECT_TRUE(result.violations.empty())
+      << "model violations for " << baselines::to_string(kind);
+  EXPECT_GT(result.events, 0u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, BuildSanity,
+                         ::testing::Values(baselines::ProtocolKind::kCps,
+                                           baselines::ProtocolKind::kLynchWelch,
+                                           baselines::ProtocolKind::kSrikanthToueg),
+                         [](const auto& info) {
+                           // Test names must be alphanumeric; strip the rest
+                           // (to_string yields e.g. "Lynch-Welch").
+                           std::string name = baselines::to_string(info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace crusader

@@ -1,6 +1,8 @@
 #include "sim/hardware_clock.hpp"
 
 #include <gtest/gtest.h>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"

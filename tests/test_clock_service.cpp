@@ -3,7 +3,11 @@
 
 #include "core/clock_service.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "core/cps.hpp"
 #include "helpers.hpp"

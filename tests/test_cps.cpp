@@ -4,7 +4,12 @@
 
 #include "core/cps.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "helpers.hpp"
 #include "util/check.hpp"

@@ -1,7 +1,12 @@
 // CPS under the full Byzantine strategy suite at maximal resilience
 // f = ⌈n/2⌉ − 1: Theorem 17's guarantees must survive every legal attack.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/adversaries.hpp"
 #include "core/cps.hpp"
@@ -70,9 +75,15 @@ INSTANTIATE_TEST_SUITE_P(
       std::string name = to_string(c.strategy);
       for (char& ch : name)
         if (ch == '-') ch = '_';
-      return "n" + std::to_string(c.n) + "_" + name + "_c" +
-             std::to_string(static_cast<int>(c.clocks)) + "_s" +
-             std::to_string(c.seed);
+      std::string out = "n";
+      out += std::to_string(c.n);
+      out += '_';
+      out += name;
+      out += "_c";
+      out += std::to_string(static_cast<int>(c.clocks));
+      out += "_s";
+      out += std::to_string(c.seed);
+      return out;
     });
 
 TEST(CpsAdversarialDetail, SplitShiftTriggersEchoGuard) {

@@ -3,9 +3,13 @@
 
 #include "sync/crusader_broadcast.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
-
+#include <map>
 #include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -1,7 +1,12 @@
 // Failure injection: what happens when the model's assumptions are broken on
 // purpose — and that the enforcement layer notices.
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/adversaries.hpp"
 #include "core/cps.hpp"

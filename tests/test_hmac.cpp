@@ -35,12 +35,30 @@ TEST(Hmac, Rfc4231Case4) {
             "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
 }
 
+TEST(Hmac, Rfc4231Case5Truncation) {
+  // Case 5 specifies a tag truncated to 128 bits; compare the prefix.
+  const std::string key(20, '\x0c');
+  const std::string hex = to_hex(hmac_sha256(key, "Test With Truncation"));
+  EXPECT_EQ(hex.substr(0, 32), "a3b6167473100ee06e0c796c2955552b");
+}
+
 TEST(Hmac, Rfc4231Case6LongKey) {
   // Key longer than the block size must be hashed first.
   const std::string key(131, '\xaa');
   EXPECT_EQ(to_hex(hmac_sha256(
                 key, "Test Using Larger Than Block-Size Key - Hash Key First")),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyAndData) {
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          key,
+          "This is a test using a larger than block-size key and a larger than "
+          "block-size data. The key needs to be hashed before being used by "
+          "the HMAC algorithm.")),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
 }
 
 TEST(Hmac, KeySensitivity) {

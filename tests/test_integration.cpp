@@ -2,6 +2,9 @@
 // adversaries, long horizons — everything at once, plus cross-protocol
 // sanity comparisons.
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "core/logical_clock.hpp"

@@ -1,8 +1,9 @@
 // Logger and trace-export coverage.
 
+#include <algorithm>
 #include <gtest/gtest.h>
-
 #include <sstream>
+#include <string>
 
 #include "sim/trace_io.hpp"
 #include "util/log.hpp"

@@ -3,7 +3,12 @@
 
 #include "lowerbound/theorem5.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "helpers.hpp"
 #include "lowerbound/composite.hpp"

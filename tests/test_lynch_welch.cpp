@@ -4,7 +4,13 @@
 
 #include "baselines/lynch_welch.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/adversaries.hpp"
 #include "helpers.hpp"

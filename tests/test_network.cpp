@@ -1,7 +1,9 @@
 #include "sim/network.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
-
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"

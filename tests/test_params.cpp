@@ -3,6 +3,7 @@
 
 #include "core/params.hpp"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "util/check.hpp"

@@ -1,7 +1,11 @@
 // Property-based / fuzz tests: global invariants over randomized
 // configurations of the whole stack.
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "core/logical_clock.hpp"
 #include "helpers.hpp"

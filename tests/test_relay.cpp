@@ -4,7 +4,13 @@
 
 #include "relay/flood_world.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "baselines/factories.hpp"
 #include "core/cps.hpp"

@@ -1,7 +1,7 @@
 #include "util/rng.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <set>
 #include <vector>
 

@@ -1,7 +1,7 @@
 #include "crypto/sha256.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
-
 #include <string>
 #include <vector>
 
@@ -23,6 +23,23 @@ TEST(Sha256, TwoBlockMessage) {
   EXPECT_EQ(to_hex(Sha256::hash(std::string{
                 "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, Nist896BitMessage) {
+  // FIPS 180-4 896-bit test message (112 bytes — pads to two blocks), from
+  // the NIST example suite for SHA-256.
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"})),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, NistCavpShortMessages) {
+  // NIST CAVP SHA256ShortMsg.rsp byte-oriented vectors (Len = 8 and 32).
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{"\xbd"})),
+            "68325720aabd7c82f30f554b313d0570c95accbb7dc4b5aae11204c08ffe732b");
+  EXPECT_EQ(to_hex(Sha256::hash(std::string{"\xc9\x8c\x8e\x55"})),
+            "7abc22c0ae5af26ce93dbb94433a0e0b2e119d014f8e7f65bd56c61ccccd9504");
 }
 
 TEST(Sha256, MillionAs) {

@@ -3,7 +3,12 @@
 
 #include "baselines/srikanth_toueg.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/adversaries.hpp"
 #include "helpers.hpp"
@@ -58,8 +63,13 @@ INSTANTIATE_TEST_SUITE_P(
       std::string name = core::to_string(c.strategy);
       for (char& ch : name)
         if (ch == '-') ch = '_';
-      return "n" + std::to_string(c.n) + "_f" + std::to_string(c.f_actual) +
-             "_" + name;
+      std::string out = "n";
+      out += std::to_string(c.n);
+      out += "_f";
+      out += std::to_string(c.f_actual);
+      out += '_';
+      out += name;
+      return out;
     });
 
 TEST(SrikanthToueg, CrashFaultsOnlyGiveUScaleSkew) {

@@ -1,8 +1,8 @@
 #include "util/stats.hpp"
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
 
 #include "util/check.hpp"
 

@@ -1,6 +1,11 @@
 #include "sync/sync_net.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

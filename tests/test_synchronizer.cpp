@@ -3,9 +3,13 @@
 
 #include "core/synchronizer.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "helpers.hpp"
 

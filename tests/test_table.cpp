@@ -1,8 +1,9 @@
 #include "util/table.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
-
 #include <sstream>
+#include <string>
 
 #include "util/check.hpp"
 

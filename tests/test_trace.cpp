@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "util/check.hpp"
 

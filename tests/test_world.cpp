@@ -1,6 +1,11 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "helpers.hpp"
 #include "util/check.hpp"
