@@ -1,0 +1,84 @@
+// E11 — the sweep runner as an experiment harness: the paper's headline
+// comparison (CPS vs Lynch–Welch vs Srikanth–Toueg) across n × faults ×
+// delay policies in one declarative grid, plus a thread-scaling measurement
+// of the runner itself.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+
+namespace crusader {
+namespace {
+
+double seconds_to_run(const std::vector<runner::ScenarioSpec>& specs,
+                      unsigned threads) {
+  runner::RunnerOptions options;
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = runner::run_sweep(specs, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  (void)report;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace
+
+int run_bench() {
+  runner::SweepGrid grid;
+  grid.protocols = {baselines::ProtocolKind::kCps,
+                    baselines::ProtocolKind::kLynchWelch,
+                    baselines::ProtocolKind::kSrikanthToueg};
+  grid.ns = {4, 7, 9};
+  grid.fault_loads = {0, runner::SweepGrid::kMaxResilience};
+  grid.delays = {sim::DelayKind::kRandom, sim::DelayKind::kSplit};
+  grid.strategies = {core::ByzStrategy::kCrash, core::ByzStrategy::kSplit};
+  grid.rounds = 16;
+  grid.warmup = 4;
+  const auto specs = grid.expand();
+
+  const auto report = runner::run_sweep(specs, {});
+
+  util::Table table("E11: sweep summary — " + std::to_string(specs.size()) +
+                    " scenarios (n in {4,7,9}, fault-free and max "
+                    "resilience, random/split delays)");
+  table.set_header({"protocol", "scenarios", "infeasible", "errors",
+                    "bound violations", "steady skew mean", "steady skew max",
+                    "messages mean"});
+  for (const auto& s : report.by_protocol()) {
+    table.add_row(
+        {baselines::to_string(s.protocol), std::to_string(s.scenarios),
+         std::to_string(s.infeasible), std::to_string(s.errors),
+         std::to_string(s.bound_violations),
+         s.steady_skew.count() ? util::Table::num(s.steady_skew.mean(), 4) : "-",
+         s.steady_skew.count() ? util::Table::num(s.steady_skew.max(), 4) : "-",
+         s.messages.count() ? util::Table::num(s.messages.mean(), 1) : "-"});
+  }
+  bench::print(table);
+
+  // Thread scaling of the runner itself (same grid, same seeds, identical
+  // results — only wall clock changes).
+  util::Table scaling("E11b: runner thread scaling (same grid)");
+  scaling.set_header({"threads", "seconds", "speedup"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  double base = 0.0;
+  for (unsigned threads : {1u, 2u, hw}) {
+    const double secs = seconds_to_run(specs, threads);
+    if (threads == 1) base = secs;
+    scaling.add_row({std::to_string(threads), util::Table::num(secs, 3),
+                     util::Table::num(base / std::max(secs, 1e-9), 2) + "x"});
+    if (threads == hw) break;  // avoid duplicate row when hw <= 2
+  }
+  bench::print(scaling);
+  return 0;
+}
+
+}  // namespace crusader
+
+int main() { return crusader::run_bench(); }

@@ -8,90 +8,71 @@
 //      into ⊥ and the skew stays flat,
 // and the certificate-acceleration attack against Srikanth–Toueg, showing
 // its Θ(d) skew — the gap CPS closes.
+//
+// Each attacked world is one declarative ScenarioSpec executed by the sweep
+// runner; the demo just varies the attack magnitude axis and prints tables.
 
 #include <algorithm>
 #include <iostream>
-#include <memory>
 
-#include "baselines/factories.hpp"
-#include "baselines/lynch_welch.hpp"
-#include "core/adversaries.hpp"
-#include "sim/world.hpp"
+#include "runner/runner.hpp"
 #include "util/table.hpp"
 
 using namespace crusader;
 
 namespace {
 
-sim::ModelParams demo_model() {
-  sim::ModelParams model;
-  model.n = 6;
-  model.f = sim::ModelParams::max_faults_signed(6);  // allow 2 faulty
-  model.d = 1.0;
-  model.u = 0.05;
-  model.u_tilde = 0.05;
-  model.vartheta = 1.01;
-  return model;
+runner::ScenarioSpec base_spec() {
+  runner::ScenarioSpec spec;
+  spec.n = 6;
+  spec.d = 1.0;
+  spec.u = 0.05;
+  spec.u_tilde = 0.05;
+  spec.vartheta = 1.01;
+  spec.clocks = sim::ClockKind::kSpread;
+  spec.rounds = 35;
+  spec.warmup = 15;
+  return spec;
+}
+
+runner::RunnerOptions demo_options() {
+  runner::RunnerOptions options;
+  options.base_seed = 7;
+  return options;
 }
 
 double lynch_welch_attacked(double split_shift) {
-  const auto model = demo_model();
-  const auto setup =
-      baselines::make_setup(baselines::ProtocolKind::kLynchWelch, model);
-  baselines::LwConfig config;
-  config.params = setup.lw;
-  config.f = sim::ModelParams::max_faults_plain(model.n);  // protocol f = 1
-  sim::HonestFactory honest = [config](NodeId) {
-    return std::make_unique<baselines::LynchWelchNode>(config);
-  };
-  auto byzantine = core::make_byzantine_factory(core::ByzStrategy::kSplit,
-                                                honest, 7, 0.0, split_shift);
-  sim::WorldConfig wc;
-  wc.model = model;
-  wc.seed = 7;
-  wc.initial_offset = setup.initial_offset;
-  wc.horizon = 40.0 * setup.round_length;
-  wc.clock_kind = sim::ClockKind::kSpread;
-  wc.delay_kind = sim::DelayKind::kSplit;
-  wc.faulty = {0, 1};  // 2 = ⌈n/3⌉ faults: beyond LW's guarantee
-  sim::World world(wc, honest, byzantine);
-  return world.run().trace.max_skew(15);
+  auto spec = base_spec();
+  spec.protocol = baselines::ProtocolKind::kLynchWelch;
+  spec.f = sim::ModelParams::max_faults_plain(spec.n);  // protocol f = 1
+  spec.f_actual = 2;  // ⌈n/3⌉ faults: beyond LW's guarantee
+  spec.strategy = core::ByzStrategy::kSplit;
+  spec.split_shift = split_shift;
+  spec.delay = sim::DelayKind::kSplit;
+  return runner::run_scenario(spec, demo_options()).steady_skew;
 }
 
 double cps_attacked(double split_shift) {
-  const auto model = demo_model();
-  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
-  auto honest = baselines::make_protocol_factory(setup);
-  auto byzantine = core::make_byzantine_factory(core::ByzStrategy::kSplit,
-                                                honest, 7, 0.0, split_shift);
-  sim::WorldConfig wc;
-  wc.model = model;
-  wc.seed = 7;
-  wc.initial_offset = setup.initial_offset;
-  wc.horizon = 40.0 * setup.round_length;
-  wc.clock_kind = sim::ClockKind::kSpread;
-  wc.delay_kind = sim::DelayKind::kSplit;
-  wc.faulty = {0, 1};
-  sim::World world(wc, honest, byzantine);
-  return world.run().trace.max_skew(15);
+  auto spec = base_spec();
+  spec.protocol = baselines::ProtocolKind::kCps;
+  spec.f = sim::ModelParams::max_faults_signed(spec.n);  // tolerates 2
+  spec.f_actual = 2;
+  spec.strategy = core::ByzStrategy::kSplit;
+  spec.split_shift = split_shift;
+  spec.delay = sim::DelayKind::kSplit;
+  return runner::run_scenario(spec, demo_options()).steady_skew;
 }
 
 double srikanth_toueg_attacked() {
-  const auto model = demo_model();
-  const auto setup =
-      baselines::make_setup(baselines::ProtocolKind::kSrikanthToueg, model);
-  auto honest = baselines::make_protocol_factory(setup);
-  auto byzantine = core::make_st_accelerator_factory(model.n - 1);
-  sim::WorldConfig wc;
-  wc.model = model;
-  wc.seed = 7;
-  wc.initial_offset = setup.initial_offset;
-  wc.horizon = 25.0 * setup.round_length;
-  wc.clock_kind = sim::ClockKind::kSpread;
-  wc.delay_kind = sim::DelayKind::kRandom;
-  wc.faulty = {0, 1};
-  sim::World world(wc, honest, byzantine);
-  return world.run().trace.max_skew(5);
+  auto spec = base_spec();
+  spec.protocol = baselines::ProtocolKind::kSrikanthToueg;
+  spec.f = sim::ModelParams::max_faults_signed(spec.n);
+  spec.f_actual = 2;
+  spec.st_accelerator = true;  // certificate acceleration against node n-1
+  spec.delay = sim::DelayKind::kRandom;
+  spec.rounds = 22;
+  spec.warmup = 5;
+  return runner::run_scenario(spec, demo_options()).steady_skew;
 }
 
 }  // namespace

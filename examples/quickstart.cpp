@@ -4,32 +4,39 @@
 //
 //   $ ./quickstart
 //
-// Walks through the full public API: model parameters, the constant solver,
-// the world harness, Byzantine strategies, and trace analysis.
+// This is a thin wrapper over the sweep runner: one declarative ScenarioSpec
+// describes the whole world (model, adversary, schedule), and run_scenario
+// executes it and computes the trace metrics. For a whole grid of these, see
+// sweep_cli; for the underlying World API, see tests/test_world.cpp.
 
 #include <iostream>
 
-#include "baselines/factories.hpp"
-#include "core/adversaries.hpp"
 #include "core/params.hpp"
-#include "sim/world.hpp"
+#include "runner/runner.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace crusader;
 
-  // 1. The model (paper, Section 2): 7 nodes, up to ⌈7/2⌉−1 = 3 Byzantine,
-  //    message delays in [d−u, d] = [0.95, 1.0], clock rates in [1, 1.01].
-  sim::ModelParams model;
-  model.n = 7;
-  model.f = sim::ModelParams::max_faults_signed(model.n);
-  model.d = 1.0;      // say, 1 ms
-  model.u = 0.05;     // 50 µs of delay uncertainty
-  model.u_tilde = model.u;
-  model.vartheta = 1.01;
+  // The model (paper, Section 2): 7 nodes, up to ⌈7/2⌉−1 = 3 Byzantine,
+  // message delays in [d−u, d] = [0.95, 1.0], clock rates in [1, 1.01], and
+  // 3 colluding Byzantine nodes running the two-faced split-timing attack.
+  runner::ScenarioSpec spec;
+  spec.protocol = baselines::ProtocolKind::kCps;
+  spec.n = 7;
+  spec.f = sim::ModelParams::max_faults_signed(spec.n);
+  spec.f_actual = spec.f;
+  spec.d = 1.0;       // say, 1 ms
+  spec.u = 0.05;      // 50 µs of delay uncertainty
+  spec.u_tilde = spec.u;
+  spec.vartheta = 1.01;
+  spec.strategy = core::ByzStrategy::kSplit;
+  spec.split_shift = 0.1;
+  spec.rounds = 25;
+  spec.warmup = 5;
 
-  // 2. Solve the Theorem-17 constants: skew bound S, round length T, ...
-  const core::CpsParams params = core::derive_cps_params(model);
+  // Peek at the Theorem-17 constants the runner solves for under the hood.
+  const core::CpsParams params = core::derive_cps_params(spec.model());
   if (!params.feasible) {
     std::cerr << "vartheta too large for CPS (Corollary 4)\n";
     return 1;
@@ -38,47 +45,31 @@ int main() {
             << ", delta = " << params.delta << ", P in [" << params.p_min
             << ", " << params.p_max << "]\n\n";
 
-  // 3. Assemble the world: adversarial clocks (half slow, half fast),
-  //    adversarial delays, 3 colluding Byzantine nodes that pull estimates.
-  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps, model);
-  auto honest = baselines::make_protocol_factory(setup);
-  auto byzantine =
-      core::make_byzantine_factory(core::ByzStrategy::kSplit, honest,
-                                   /*seed=*/42, 0.0, /*split_shift=*/0.1);
+  runner::RunnerOptions options;
+  options.base_seed = 42;
+  const runner::ScenarioResult result = runner::run_scenario(spec, options);
+  if (!result.error.empty()) {
+    std::cerr << "run failed: " << result.error << "\n";
+    return 1;
+  }
 
-  sim::WorldConfig config;
-  config.model = model;
-  config.seed = 42;
-  config.initial_offset = params.S;  // H_v(0) ∈ [0, S] (Figure 3)
-  config.horizon = 30.0 * params.p_max;
-  config.clock_kind = sim::ClockKind::kSpread;
-  config.delay_kind = sim::DelayKind::kRandom;
-  config.faulty = {0, 1, 2};
-
-  sim::World world(config, honest, byzantine);
-  const sim::RunResult result = world.run();
-
-  // 4. Analyze the pulse trace.
-  util::Table table("CPS on 7 nodes, 3 Byzantine (split-timing attack)");
+  util::Table table(spec.name());
   table.set_header({"metric", "measured", "bound"});
-  table.add_row({"rounds completed",
-                 std::to_string(result.trace.complete_rounds()), "-"});
-  table.add_row({"worst skew", util::Table::num(result.trace.max_skew(), 4),
-                 util::Table::num(params.S, 4)});
-  table.add_row({"steady skew (r>=5)",
-                 util::Table::num(result.trace.max_skew(5), 4),
-                 util::Table::num(params.S, 4)});
-  table.add_row({"min period", util::Table::num(result.trace.min_period(), 4),
+  table.add_row({"rounds completed", std::to_string(result.rounds_completed),
+                 "-"});
+  table.add_row({"worst skew", util::Table::num(result.max_skew, 4),
+                 util::Table::num(result.predicted_skew, 4)});
+  table.add_row({"steady skew (r>=5)", util::Table::num(result.steady_skew, 4),
+                 util::Table::num(result.predicted_skew, 4)});
+  table.add_row({"min period", util::Table::num(result.min_period, 4),
                  ">= " + util::Table::num(params.p_min, 4)});
-  table.add_row({"max period", util::Table::num(result.trace.max_period(), 4),
+  table.add_row({"max period", util::Table::num(result.max_period, 4),
                  "<= " + util::Table::num(params.p_max, 4)});
   table.add_row({"messages", std::to_string(result.messages), "-"});
-  table.add_row({"model violations", std::to_string(result.violations.size()),
-                 "0"});
+  table.add_row({"model violations", std::to_string(result.violations), "0"});
   table.print(std::cout);
 
-  const bool ok = result.trace.max_skew() <= params.S + 1e-9 &&
-                  result.trace.live(20) && result.violations.empty();
+  const bool ok = result.within_bound && result.live && result.violations == 0;
   std::cout << "\n" << (ok ? "OK: Theorem 17 held." : "FAIL") << "\n";
   return ok ? 0 : 1;
 }

@@ -1,0 +1,264 @@
+// sweep_cli — run a declarative scenario sweep from one invocation.
+//
+//   $ ./sweep_cli                                # default 36-scenario sweep
+//   $ ./sweep_cli --protocols=cps,st --n=4,5 --faults=0 --rounds=6
+//                 --threads=2 --format=table     # CI smoke sweep (one line)
+//   $ ./sweep_cli --format=csv --out=sweep.csv --threads=4
+//
+// Axes (comma-separated lists expand to the cross product):
+//   --protocols=cps,lw,st      protocol kinds
+//   --n=4,7,9                  cluster sizes
+//   --faults=0,max             faulty-node counts ("max" = the protocol's
+//                              optimal resilience at that n)
+//   --vartheta=1.01            clock drift bounds
+//   --u=0.05                   delay uncertainties
+//   --delays=random,split      delay policies (max|min|random|split)
+//   --byz=crash,split          Byzantine strategies (only for faults > 0);
+//                              also accepts st-accel
+// Scalars:
+//   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
+// Output:
+//   --format=csv|json|table (default table)   --out=FILE (default stdout)
+//
+// Exit status is non-zero if any scenario errored, or any feasible
+// fault-free CPS scenario exceeded its Theorem-17 skew bound.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/export.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace crusader;
+
+namespace {
+
+std::vector<std::string> split(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::optional<baselines::ProtocolKind> parse_protocol(const std::string& s) {
+  if (s == "cps") return baselines::ProtocolKind::kCps;
+  if (s == "lw" || s == "lynch-welch") return baselines::ProtocolKind::kLynchWelch;
+  if (s == "st" || s == "srikanth-toueg")
+    return baselines::ProtocolKind::kSrikanthToueg;
+  return std::nullopt;
+}
+
+std::optional<sim::DelayKind> parse_delay(const std::string& s) {
+  if (s == "max") return sim::DelayKind::kMax;
+  if (s == "min") return sim::DelayKind::kMin;
+  if (s == "random") return sim::DelayKind::kRandom;
+  if (s == "split") return sim::DelayKind::kSplit;
+  return std::nullopt;
+}
+
+std::optional<core::ByzStrategy> parse_byz(const std::string& s) {
+  if (s == "crash") return core::ByzStrategy::kCrash;
+  if (s == "echo-rush") return core::ByzStrategy::kEchoRush;
+  if (s == "split") return core::ByzStrategy::kSplit;
+  if (s == "pull-early") return core::ByzStrategy::kPullEarly;
+  if (s == "pull-late") return core::ByzStrategy::kPullLate;
+  if (s == "replay") return core::ByzStrategy::kReplay;
+  if (s == "random") return core::ByzStrategy::kRandom;
+  return std::nullopt;
+}
+
+int fail(const std::string& msg) {
+  std::cerr << "sweep_cli: " << msg << "\n";
+  return 2;
+}
+
+void print_table(std::ostream& os, const runner::SweepReport& report) {
+  util::Table table("scenario sweep (" +
+                    std::to_string(report.results.size()) + " scenarios)");
+  table.set_header({"scenario", "feasible", "live", "steady skew", "bound",
+                    "ok", "messages", "violations", "error"});
+  for (const auto& r : report.results) {
+    table.add_row({r.spec.name(), util::Table::boolean(r.feasible),
+                   util::Table::boolean(r.live),
+                   r.rounds_completed ? util::Table::num(r.steady_skew, 4) : "-",
+                   r.feasible ? util::Table::num(r.predicted_skew, 4) : "-",
+                   util::Table::boolean(r.within_bound),
+                   std::to_string(r.messages), std::to_string(r.violations),
+                   r.error.empty() ? "-" : r.error});
+  }
+  table.print(os);
+
+  util::Table summary("per-protocol summary (feasible, error-free scenarios)");
+  summary.set_header({"protocol", "scenarios", "infeasible", "errors",
+                      "bound violations", "steady skew mean", "steady skew max",
+                      "messages mean"});
+  for (const auto& s : report.by_protocol()) {
+    summary.add_row(
+        {baselines::to_string(s.protocol), std::to_string(s.scenarios),
+         std::to_string(s.infeasible), std::to_string(s.errors),
+         std::to_string(s.bound_violations),
+         s.steady_skew.count() ? util::Table::num(s.steady_skew.mean(), 4) : "-",
+         s.steady_skew.count() ? util::Table::num(s.steady_skew.max(), 4) : "-",
+         s.messages.count() ? util::Table::num(s.messages.mean(), 1) : "-"});
+  }
+  os << '\n';
+  summary.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::SweepGrid grid;
+  // Default sweep: the paper's headline comparison across n, f, and delay
+  // policies — 3 protocols × 3 n × {fault-free, max resilience} × 2 delay
+  // policies = 36 scenarios.
+  grid.protocols = {baselines::ProtocolKind::kCps,
+                    baselines::ProtocolKind::kLynchWelch,
+                    baselines::ProtocolKind::kSrikanthToueg};
+  grid.ns = {4, 7, 9};
+  grid.fault_loads = {0, runner::SweepGrid::kMaxResilience};
+  grid.delays = {sim::DelayKind::kRandom, sim::DelayKind::kSplit};
+  grid.strategies = {core::ByzStrategy::kCrash};
+
+  runner::RunnerOptions options;
+  std::string format = "table";
+  std::string out_path;
+  bool st_accel = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos)
+      return fail("expected --key=value, got '" + arg + "'");
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    try {
+      if (key == "protocols") {
+        grid.protocols.clear();
+        for (const auto& s : split(value)) {
+          const auto p = parse_protocol(s);
+          if (!p) return fail("unknown protocol '" + s + "'");
+          grid.protocols.push_back(*p);
+        }
+      } else if (key == "n") {
+        grid.ns.clear();
+        for (const auto& s : split(value))
+          grid.ns.push_back(static_cast<std::uint32_t>(std::stoul(s)));
+      } else if (key == "faults") {
+        grid.fault_loads.clear();
+        for (const auto& s : split(value)) {
+          if (s == "max") {
+            grid.fault_loads.push_back(runner::SweepGrid::kMaxResilience);
+            continue;
+          }
+          const long count = std::stol(s);
+          if (count < 0)
+            return fail("--faults takes counts >= 0 or 'max', got '" + s + "'");
+          grid.fault_loads.push_back(count);
+        }
+      } else if (key == "vartheta") {
+        grid.varthetas.clear();
+        for (const auto& s : split(value)) grid.varthetas.push_back(std::stod(s));
+      } else if (key == "u") {
+        grid.us.clear();
+        for (const auto& s : split(value)) grid.us.push_back(std::stod(s));
+      } else if (key == "delays") {
+        grid.delays.clear();
+        for (const auto& s : split(value)) {
+          const auto dk = parse_delay(s);
+          if (!dk) return fail("unknown delay policy '" + s + "'");
+          grid.delays.push_back(*dk);
+        }
+      } else if (key == "byz") {
+        grid.strategies.clear();
+        st_accel = false;
+        for (const auto& s : split(value)) {
+          if (s == "st-accel") {
+            st_accel = true;
+            continue;
+          }
+          const auto b = parse_byz(s);
+          if (!b) return fail("unknown byz strategy '" + s + "'");
+          grid.strategies.push_back(*b);
+        }
+        if (grid.strategies.empty())
+          grid.strategies = {core::ByzStrategy::kCrash};
+      } else if (key == "d") {
+        grid.d = std::stod(value);
+      } else if (key == "rounds") {
+        grid.rounds = std::stoul(value);
+      } else if (key == "warmup") {
+        grid.warmup = std::stoul(value);
+      } else if (key == "slack") {
+        grid.slack = std::stod(value);
+      } else if (key == "seed") {
+        options.base_seed = std::stoull(value);
+      } else if (key == "threads") {
+        options.threads = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "format") {
+        if (value != "csv" && value != "json" && value != "table")
+          return fail("unknown format '" + value + "'");
+        format = value;
+      } else if (key == "out") {
+        out_path = value;
+      } else {
+        return fail("unknown option '--" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return fail("bad value for --" + key + ": '" + value + "'");
+    }
+  }
+
+  auto specs = grid.expand();
+  if (st_accel) {
+    // Add ST certificate-acceleration variants for every faulty ST point.
+    std::vector<runner::ScenarioSpec> extra;
+    for (const auto& spec : specs) {
+      if (spec.protocol == baselines::ProtocolKind::kSrikanthToueg &&
+          spec.f_actual > 0) {
+        auto attack = spec;
+        attack.st_accelerator = true;
+        extra.push_back(attack);
+      }
+    }
+    specs.insert(specs.end(), extra.begin(), extra.end());
+  }
+  if (specs.empty()) return fail("empty grid");
+
+  const auto report = runner::run_sweep(specs, options);
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) return fail("cannot open '" + out_path + "'");
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file;
+  if (format == "csv")
+    runner::write_csv(os, report);
+  else if (format == "json")
+    runner::write_json(os, report);
+  else
+    print_table(os, report);
+
+  // Gate: no errors, and fault-free CPS always within the Theorem-17 bound.
+  int status = 0;
+  for (const auto& r : report.results) {
+    if (!r.error.empty()) status = 1;
+    if (r.spec.protocol == baselines::ProtocolKind::kCps && r.feasible &&
+        r.spec.f_actual == 0 && r.rounds_completed > 0 && !r.within_bound)
+      status = 1;
+  }
+  if (status != 0)
+    std::cerr << "sweep_cli: FAILED (errors or CPS bound violations)\n";
+  return status;
+}

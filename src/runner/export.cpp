@@ -1,0 +1,166 @@
+#include "runner/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace crusader::runner {
+
+namespace {
+
+/// Shortest round-trip representation via std::to_chars: locale-independent
+/// ('.' decimal point, no grouping), identical output for identical bits.
+std::string fmt(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("?");
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+struct Field {
+  std::string name;
+  std::string value;   // already formatted
+  bool quoted = false; // string-typed in JSON
+  bool null = false;   // NaN metric: empty cell / JSON null
+};
+
+std::vector<Field> fields(const ScenarioResult& r) {
+  const auto& s = r.spec;
+  auto metric = [](double v) {
+    const bool absent = !std::isfinite(v);  // NaN or ±inf (e.g. empty inf/sup)
+    return Field{"", absent ? "" : fmt(v), false, absent};
+  };
+  std::vector<Field> out;
+  auto add = [&](const std::string& name, Field f) {
+    f.name = name;
+    out.push_back(std::move(f));
+  };
+  add("scenario", {"", s.name(), true});
+  add("protocol", {"", baselines::to_string(s.protocol), true});
+  add("n", {"", std::to_string(s.n)});
+  add("f", {"", std::to_string(s.f)});
+  add("f_actual", {"", std::to_string(s.f_actual)});
+  add("d", {"", fmt(s.d)});
+  add("u", {"", fmt(s.u)});
+  add("u_tilde", {"", fmt(s.u_tilde)});
+  add("vartheta", {"", fmt(s.vartheta)});
+  add("delay", {"", sim::to_string(s.delay), true});
+  add("clocks", {"", sim::to_string(s.clocks), true});
+  add("byz",
+      {"",
+       s.f_actual == 0
+           ? "none"
+           : (s.st_accelerator ? "st-accel" : core::to_string(s.strategy)),
+       true});
+  add("rounds", {"", std::to_string(s.rounds)});
+  add("warmup", {"", std::to_string(s.warmup)});
+  add("seed", {"", std::to_string(r.seed)});
+  add("feasible", {"", r.feasible ? "1" : "0"});
+  add("live", {"", r.live ? "1" : "0"});
+  add("rounds_completed", {"", std::to_string(r.rounds_completed)});
+  add("max_skew", metric(r.max_skew));
+  add("steady_skew", metric(r.steady_skew));
+  add("skew_p50", metric(r.skew_p50));
+  add("skew_p99", metric(r.skew_p99));
+  add("min_period", metric(r.min_period));
+  add("max_period", metric(r.max_period));
+  add("predicted_skew", metric(r.predicted_skew));
+  add("within_bound", {"", r.within_bound ? "1" : "0"});
+  add("messages", {"", std::to_string(r.messages)});
+  add("events", {"", std::to_string(r.events)});
+  add("sign_ops", {"", std::to_string(r.sign_ops)});
+  add("verify_ops", {"", std::to_string(r.verify_ops)});
+  add("signatures_carried", {"", std::to_string(r.signatures_carried)});
+  add("violations", {"", std::to_string(r.violations)});
+  add("error", {"", r.error, true});
+  return out;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const SweepReport& report) {
+  bool header_written = false;
+  for (const auto& r : report.results) {
+    const auto row = fields(r);
+    if (!header_written) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        os << (i ? "," : "") << row[i].name;
+      os << '\n';
+      header_written = true;
+    }
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << (i ? "," : "") << csv_quote(row[i].value);
+    os << '\n';
+  }
+  if (!header_written) {
+    // Empty report: still emit the header so the schema is discoverable.
+    const auto row = fields(ScenarioResult{});
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << (i ? "," : "") << row[i].name;
+    os << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const SweepReport& report) {
+  os << "[\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const auto row = fields(report.results[i]);
+    os << "  {";
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      os << (j ? ", " : "") << json_quote(row[j].name) << ": ";
+      if (row[j].null)
+        os << "null";
+      else if (row[j].quoted)
+        os << json_quote(row[j].value);
+      else
+        os << row[j].value;
+    }
+    os << (i + 1 < report.results.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
+std::string to_csv(const SweepReport& report) {
+  std::ostringstream os;
+  write_csv(os, report);
+  return os.str();
+}
+
+}  // namespace crusader::runner

@@ -1,0 +1,24 @@
+#pragma once
+// Deterministic CSV / JSON serialization of sweep reports. Formatting is
+// locale-independent and stable, so reports from the same sweep compare
+// byte-for-byte regardless of thread count.
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace crusader::runner {
+
+/// Header + one row per scenario, in spec order. NaN metrics render as
+/// empty cells.
+void write_csv(std::ostream& os, const SweepReport& report);
+
+/// JSON array of scenario objects (same fields as the CSV). NaN metrics
+/// render as null.
+void write_json(std::ostream& os, const SweepReport& report);
+
+/// Convenience for tests: the CSV as a string.
+[[nodiscard]] std::string to_csv(const SweepReport& report);
+
+}  // namespace crusader::runner

@@ -1,0 +1,182 @@
+#include "runner/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/adversaries.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace crusader::runner {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+std::uint64_t scenario_seed(const ScenarioSpec& spec,
+                            std::uint64_t base_seed) noexcept {
+  return util::Rng(base_seed).fork(spec.key()).next_u64();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunnerOptions& options) {
+  ScenarioResult result;
+  result.spec = spec;
+  result.seed = scenario_seed(spec, options.base_seed);
+  result.max_skew = kNan;
+  result.steady_skew = kNan;
+  result.skew_p50 = kNan;
+  result.skew_p99 = kNan;
+  result.min_period = kNan;
+  result.max_period = kNan;
+  result.predicted_skew = kNan;
+
+  try {
+    // Protocol constants are solved for spec.f; the world's model additionally
+    // admits f_actual faulty nodes when a scenario probes beyond-resilience
+    // behavior (f_actual > f).
+    const auto model = spec.model();
+    model.validate();
+    auto world_model = model;
+    world_model.f = std::max(spec.f, spec.f_actual);
+    world_model.validate();
+    const auto setup = baselines::make_setup(spec.protocol, model, spec.slack);
+    result.feasible = setup.feasible;
+    if (!setup.feasible) return result;  // predicted_skew stays NaN
+    result.predicted_skew = setup.predicted_skew;
+
+    auto honest = baselines::make_protocol_factory(
+        setup, static_cast<Round>(spec.rounds));
+
+    sim::WorldConfig config;
+    config.model = world_model;
+    config.seed = result.seed;
+    config.initial_offset = setup.initial_offset;
+    config.horizon = setup.initial_offset +
+                     static_cast<double>(spec.rounds + 2) * setup.round_length;
+    config.clock_kind = spec.clocks;
+    config.delay_kind = spec.delay;
+    config.faulty = sim::default_faulty_set(spec.f_actual);
+
+    sim::ByzantineFactory byz;
+    if (spec.f_actual > 0) {
+      byz = spec.st_accelerator
+                ? core::make_st_accelerator_factory(spec.n - 1)
+                : core::make_byzantine_factory(spec.strategy, honest,
+                                               result.seed, spec.late_shift,
+                                               spec.split_shift);
+    }
+
+    sim::World world(config, std::move(honest), std::move(byz));
+    const sim::RunResult run = world.run();
+
+    result.live = run.trace.live(spec.rounds);
+    result.rounds_completed = run.trace.complete_rounds();
+    result.messages = run.messages;
+    result.events = run.events;
+    result.sign_ops = run.sign_ops;
+    result.verify_ops = run.verify_ops;
+    result.signatures_carried = run.signatures_carried;
+    result.violations = run.violations.size();
+
+    if (result.rounds_completed > 0) {
+      result.max_skew = run.trace.max_skew();
+      result.min_period = run.trace.min_period();
+      result.max_period = run.trace.max_period();
+      util::Samples steady;
+      const auto skews = run.trace.skews();
+      for (std::size_t r = spec.warmup; r < skews.size(); ++r)
+        steady.add(skews[r]);
+      if (!steady.empty()) {
+        result.steady_skew = steady.max();
+        result.skew_p50 = steady.median();
+        result.skew_p99 = steady.quantile(0.99);
+      }
+      result.within_bound =
+          result.max_skew <= result.predicted_skew + options.bound_tolerance;
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  return result;
+}
+
+SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
+                      const RunnerOptions& options) {
+  SweepReport report;
+  report.results.resize(specs.size());
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(specs.size(), 1)));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      report.results[i] = run_scenario(specs[i], options);
+    return report;
+  }
+
+  // Work stealing via a shared index: scenario i's result slot is i, so the
+  // output order (and content — seeds come from spec digests, not schedule)
+  // is independent of which worker picks it up.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      report.results[i] = run_scenario(specs[i], options);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return report;
+}
+
+std::vector<ProtocolSummary> SweepReport::by_protocol() const {
+  std::vector<ProtocolSummary> summaries;
+  auto find = [&](baselines::ProtocolKind kind) -> ProtocolSummary& {
+    for (auto& s : summaries)
+      if (s.protocol == kind) return s;
+    summaries.emplace_back();
+    summaries.back().protocol = kind;
+    return summaries.back();
+  };
+  for (const auto& r : results) {
+    ProtocolSummary& s = find(r.spec.protocol);
+    ++s.scenarios;
+    if (!r.error.empty()) {
+      ++s.errors;
+      continue;
+    }
+    if (!r.feasible) {
+      ++s.infeasible;
+      continue;
+    }
+    if (r.rounds_completed > 0) {
+      if (std::isfinite(r.steady_skew)) s.steady_skew.add(r.steady_skew);
+      s.messages.add(static_cast<double>(r.messages));
+      if (!r.within_bound) ++s.bound_violations;
+    }
+  }
+  return summaries;
+}
+
+std::size_t SweepReport::error_count() const {
+  std::size_t count = 0;
+  for (const auto& r : results)
+    if (!r.error.empty()) ++count;
+  return count;
+}
+
+}  // namespace crusader::runner

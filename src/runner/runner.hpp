@@ -1,0 +1,90 @@
+#pragma once
+// Scenario-sweep runner: executes a list of ScenarioSpecs on a worker-thread
+// pool and aggregates per-scenario metrics. Results are deterministic in the
+// spec list and base seed — each scenario derives its own RNG stream via
+// Rng::fork keyed by the spec digest, and results land in spec order — so a
+// sweep's CSV is byte-identical whether it ran on 1 thread or N.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace crusader::runner {
+
+struct RunnerOptions {
+  /// Root of the sweep's seed tree; scenario seeds are
+  /// Rng(base_seed).fork(spec.key()).
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 1;
+  /// Absolute tolerance when checking measured skew against the theoretical
+  /// bound (floating-point headroom, not a semantic slack).
+  double bound_tolerance = 1e-9;
+};
+
+/// Everything measured for one scenario. Doubles are NaN when the scenario
+/// was infeasible, errored, or produced no complete rounds.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::uint64_t seed = 0;  ///< derived world seed (recorded for replay)
+  bool feasible = false;
+  bool live = false;  ///< every honest node completed `rounds` pulses
+  std::size_t rounds_completed = 0;
+  double max_skew = 0.0;     ///< over all complete rounds
+  double steady_skew = 0.0;  ///< over rounds >= warmup
+  double skew_p50 = 0.0;
+  double skew_p99 = 0.0;
+  double min_period = 0.0;
+  double max_period = 0.0;
+  /// Theoretical skew bound for this protocol/model (S, S_lw, or d-scale).
+  double predicted_skew = 0.0;
+  /// max_skew <= predicted_skew (+tolerance). Only meaningful within the
+  /// protocol's resilience; recorded regardless.
+  bool within_bound = false;
+  std::uint64_t messages = 0;
+  std::uint64_t events = 0;
+  std::uint64_t sign_ops = 0;
+  std::uint64_t verify_ops = 0;
+  std::uint64_t signatures_carried = 0;
+  std::size_t violations = 0;
+  /// Non-empty when the world threw (the sweep keeps going).
+  std::string error;
+};
+
+/// util::stats-backed cross-scenario aggregate for one protocol.
+struct ProtocolSummary {
+  baselines::ProtocolKind protocol = baselines::ProtocolKind::kCps;
+  std::size_t scenarios = 0;
+  std::size_t infeasible = 0;
+  std::size_t errors = 0;
+  std::size_t bound_violations = 0;  ///< feasible, ran, and exceeded bound
+  util::OnlineStats steady_skew;     ///< over feasible error-free scenarios
+  util::OnlineStats messages;
+};
+
+struct SweepReport {
+  std::vector<ScenarioResult> results;  ///< same order as the input specs
+
+  [[nodiscard]] std::vector<ProtocolSummary> by_protocol() const;
+  [[nodiscard]] std::size_t error_count() const;
+};
+
+/// Derive the world seed for `spec` under `base_seed` (exposed for tests and
+/// for reproducing a single scenario out of a sweep).
+[[nodiscard]] std::uint64_t scenario_seed(const ScenarioSpec& spec,
+                                          std::uint64_t base_seed) noexcept;
+
+/// Run one scenario to completion. Never throws: failures are reported in
+/// ScenarioResult::error.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const RunnerOptions& options = {});
+
+/// Run every spec, farming scenarios out to `options.threads` workers.
+[[nodiscard]] SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
+                                    const RunnerOptions& options = {});
+
+}  // namespace crusader::runner

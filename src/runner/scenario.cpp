@@ -1,0 +1,135 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace crusader::runner {
+
+namespace {
+
+/// Fold one 64-bit word into a running digest (splitmix-based; order
+/// sensitive, which is what we want for a field-by-field hash).
+std::uint64_t fold(std::uint64_t h, std::uint64_t word) noexcept {
+  return util::mix64(h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t fold(std::uint64_t h, double value) noexcept {
+  return fold(h, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace
+
+sim::ModelParams ScenarioSpec::model() const {
+  sim::ModelParams m;
+  m.n = n;
+  m.f = f;
+  m.d = d;
+  m.u = u;
+  m.u_tilde = u_tilde;
+  m.vartheta = vartheta;
+  return m;
+}
+
+std::string ScenarioSpec::name() const {
+  std::ostringstream os;
+  os << baselines::to_string(protocol) << " n=" << n << " f=" << f;
+  if (f_actual != f) os << " f_actual=" << f_actual;
+  os << " vt=" << vartheta << " u=" << u;
+  if (u_tilde != u) os << " ut=" << u_tilde;
+  if (d != 1.0) os << " d=" << d;
+  os << " delay=" << sim::to_string(delay);
+  if (clocks != sim::ClockKind::kSpread)
+    os << " clocks=" << sim::to_string(clocks);
+  if (f_actual > 0) {
+    os << " byz=" << (st_accelerator ? "st-accel" : core::to_string(strategy));
+    if (late_shift != 0.0) os << " late=" << late_shift;
+    if (split_shift != 0.0) os << " shift=" << split_shift;
+  }
+  return os.str();
+}
+
+std::uint64_t ScenarioSpec::key() const noexcept {
+  std::uint64_t h = 0x435053u;  // "CPS"
+  h = fold(h, static_cast<std::uint64_t>(protocol));
+  h = fold(h, static_cast<std::uint64_t>(n));
+  h = fold(h, static_cast<std::uint64_t>(f));
+  h = fold(h, static_cast<std::uint64_t>(f_actual));
+  h = fold(h, d);
+  h = fold(h, u);
+  h = fold(h, u_tilde);
+  h = fold(h, vartheta);
+  h = fold(h, static_cast<std::uint64_t>(delay));
+  h = fold(h, static_cast<std::uint64_t>(clocks));
+  h = fold(h, static_cast<std::uint64_t>(strategy));
+  h = fold(h, static_cast<std::uint64_t>(st_accelerator));
+  h = fold(h, late_shift);
+  h = fold(h, split_shift);
+  h = fold(h, static_cast<std::uint64_t>(rounds));
+  h = fold(h, static_cast<std::uint64_t>(warmup));
+  h = fold(h, slack);
+  return h;
+}
+
+std::uint32_t max_resilience(baselines::ProtocolKind protocol,
+                             std::uint32_t n) noexcept {
+  return protocol == baselines::ProtocolKind::kLynchWelch
+             ? sim::ModelParams::max_faults_plain(n)
+             : sim::ModelParams::max_faults_signed(n);
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+  std::vector<ScenarioSpec> specs;
+  for (const auto protocol : protocols) {
+    for (const auto n : ns) {
+      // Resolve fault loads up front and dedupe: kMaxResilience can collapse
+      // onto an explicit count (e.g. LW at n = 3 has max resilience 0), and
+      // duplicate specs would run — and report — the same world twice.
+      std::vector<std::uint32_t> fault_counts;
+      for (const auto load : fault_loads) {
+        const std::uint32_t faults =
+            load == kMaxResilience ? max_resilience(protocol, n)
+                                   : static_cast<std::uint32_t>(load);
+        if (std::find(fault_counts.begin(), fault_counts.end(), faults) ==
+            fault_counts.end())
+          fault_counts.push_back(faults);
+      }
+      for (const std::uint32_t faults : fault_counts) {
+        for (const double vartheta : varthetas) {
+          for (const double u : us) {
+            for (const auto delay : delays) {
+              ScenarioSpec spec;
+              spec.protocol = protocol;
+              spec.n = n;
+              spec.f = faults;
+              spec.f_actual = faults;
+              spec.d = d;
+              spec.u = u;
+              spec.u_tilde = u;
+              spec.vartheta = vartheta;
+              spec.delay = delay;
+              spec.clocks = clocks;
+              spec.rounds = rounds;
+              spec.warmup = warmup;
+              spec.slack = slack;
+              if (faults == 0) {
+                specs.push_back(spec);  // strategy axis is irrelevant
+                continue;
+              }
+              for (const auto strategy : strategies) {
+                spec.strategy = strategy;
+                specs.push_back(spec);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace crusader::runner

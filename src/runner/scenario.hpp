@@ -1,0 +1,94 @@
+#pragma once
+// Declarative scenario descriptions for parameter sweeps: one ScenarioSpec
+// fully determines a world (protocol × model × adversary × schedule), and a
+// SweepGrid expands axis lists into the cross-product of specs in a fixed,
+// documented order so that sweep output is stable across runs and machines.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/factories.hpp"
+#include "core/adversaries.hpp"
+#include "sim/model.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+
+namespace crusader::runner {
+
+/// One fully-specified simulation scenario. Everything influencing the run is
+/// in here (plus the sweep's base seed) — two equal specs produce bitwise
+/// identical results.
+struct ScenarioSpec {
+  baselines::ProtocolKind protocol = baselines::ProtocolKind::kCps;
+  std::uint32_t n = 4;
+  /// Fault tolerance the protocol is parameterized for (model.f).
+  std::uint32_t f = 0;
+  /// Byzantine nodes actually instantiated (usually == f; benches that probe
+  /// beyond-resilience behavior set f_actual > f).
+  std::uint32_t f_actual = 0;
+  double d = 1.0;
+  double u = 0.05;
+  double u_tilde = 0.05;
+  double vartheta = 1.01;
+  sim::DelayKind delay = sim::DelayKind::kRandom;
+  sim::ClockKind clocks = sim::ClockKind::kSpread;
+  /// Byzantine behavior; only consulted when f_actual > 0.
+  core::ByzStrategy strategy = core::ByzStrategy::kCrash;
+  /// When true (and f_actual > 0), runs the ST certificate-acceleration
+  /// attack (all faulty nodes target node n-1) instead of `strategy`.
+  bool st_accelerator = false;
+  double late_shift = 0.0;
+  double split_shift = 0.0;
+  std::size_t rounds = 20;
+  /// Rounds skipped before steady-state metrics.
+  std::size_t warmup = 5;
+  /// Slack multiplier forwarded to make_setup's constant solver.
+  double slack = 1.0;
+
+  [[nodiscard]] sim::ModelParams model() const;
+
+  /// Human-readable id, e.g. "CPS n=7 f=3 vt=1.01 u=0.05 delay=random
+  /// byz=split". Unique per distinct spec in practice; used as the CSV key.
+  [[nodiscard]] std::string name() const;
+
+  /// Stable 64-bit digest of every axis. Used to derive the per-scenario RNG
+  /// stream, so a scenario's seed does not depend on its position in the
+  /// grid (inserting scenarios never reshuffles others' randomness).
+  [[nodiscard]] std::uint64_t key() const noexcept;
+};
+
+/// Axis lists expanded into the cross product of ScenarioSpecs. Expansion
+/// order (outer to inner): protocol, n, fault load, vartheta, u, delay,
+/// strategy. Fault-free grid points ignore the strategy axis (one spec, not
+/// one per strategy).
+struct SweepGrid {
+  std::vector<baselines::ProtocolKind> protocols{
+      baselines::ProtocolKind::kCps};
+  std::vector<std::uint32_t> ns{4};
+  /// Faulty-node counts. kMaxResilience means "this protocol's optimal
+  /// resilience at this n": ⌈n/2⌉−1 for CPS and Srikanth–Toueg, ⌈n/3⌉−1 for
+  /// Lynch–Welch.
+  std::vector<std::int64_t> fault_loads{0};
+  std::vector<double> varthetas{1.01};
+  std::vector<double> us{0.05};
+  std::vector<sim::DelayKind> delays{sim::DelayKind::kRandom};
+  std::vector<core::ByzStrategy> strategies{core::ByzStrategy::kCrash};
+  double d = 1.0;
+  sim::ClockKind clocks = sim::ClockKind::kSpread;
+  std::size_t rounds = 20;
+  std::size_t warmup = 5;
+  double slack = 1.0;
+
+  static constexpr std::int64_t kMaxResilience = -1;
+
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+};
+
+/// Resilience bound for `protocol` at `n` (signed bound for CPS/ST, plain
+/// bound for LW).
+[[nodiscard]] std::uint32_t max_resilience(baselines::ProtocolKind protocol,
+                                           std::uint32_t n) noexcept;
+
+}  // namespace crusader::runner

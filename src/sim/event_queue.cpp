@@ -1,6 +1,10 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "util/check.hpp"
@@ -9,54 +13,87 @@ namespace crusader::sim {
 
 EventId EventQueue::schedule(double t, EventFn fn) {
   CS_CHECK_MSG(fn, "cannot schedule an empty event");
-  const EventId id = next_id_++;
-  fns_.push_back(std::move(fn));
-  heap_.push(Entry{t, id});
+  CS_CHECK_MSG(std::isfinite(t),
+               "event time must be finite (NaN/inf would corrupt the "
+               "queue's strict weak ordering)");
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    CS_CHECK_MSG(slots_.size() < std::numeric_limits<std::uint32_t>::max(),
+                 "event slab exhausted (2^32 - 1 pending events)");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const EventId id =
+      (static_cast<EventId>(slots_[slot].gen) << 32) | static_cast<EventId>(slot);
+  heap_.push_back(Entry{t, scheduled_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
   ++live_;
   return id;
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (id >= fns_.size() || !fns_[id]) return false;
-  fns_[id] = nullptr;
-  cancelled_.insert(id);
+void EventQueue::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.gen;  // wraps after 2^32 reuses of one slot; ids don't live that long
+  free_.push_back(slot);
   --live_;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  if (s.gen != gen_of(id) || !s.fn) return false;
+  retire(slot);
+  ++stale_in_heap_;  // the heap entry stays until drop_stale()/compact()
+  compact();
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_.contains(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+void EventQueue::drop_stale() const {
+  while (!heap_.empty() && stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    heap_.pop_back();
+    --stale_in_heap_;
   }
 }
 
+void EventQueue::compact() {
+  // Amortized O(1): rebuilding costs O(heap), paid for by the >= heap/2
+  // cancellations since the last rebuild. The +64 floor avoids rebuilding
+  // tiny heaps.
+  if (stale_in_heap_ <= heap_.size() / 2 || stale_in_heap_ <= 64) return;
+  std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
+  std::make_heap(heap_.begin(), heap_.end(), FiresLater{});
+  stale_in_heap_ = 0;
+}
+
 bool EventQueue::empty() const {
-  drop_cancelled();
+  drop_stale();
   return heap_.empty();
 }
 
 double EventQueue::next_time() const {
-  drop_cancelled();
+  drop_stale();
   CS_CHECK(!heap_.empty());
-  return heap_.top().t;
+  return heap_.front().t;
 }
 
 double EventQueue::pop_and_run() {
-  drop_cancelled();
+  drop_stale();
   CS_CHECK(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  EventFn fn = std::move(fns_[top.id]);
-  fns_[top.id] = nullptr;
-  --live_;
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
+  EventFn fn = std::move(slots_[slot_of(top.id)].fn);
+  retire(slot_of(top.id));
   CS_CHECK_MSG(fn, "popped a cancelled event");
   fn();
   return top.t;
-}
-
-std::size_t EventQueue::pending() const {
-  return live_;
 }
 
 }  // namespace crusader::sim

@@ -2,26 +2,33 @@
 // Deterministic discrete-event queue: events ordered by (time, sequence).
 // Equal-time events fire in insertion order, which makes every run with the
 // same seed bit-reproducible.
+//
+// Storage is a slab of callback slots recycled through a free list, so memory
+// is O(pending events) — not O(events ever scheduled). Ids are
+// generation-tagged: an id names (slot, generation), and cancelling or firing
+// an event bumps the slot's generation, which invalidates stale ids in O(1)
+// without any auxiliary set.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace crusader::sim {
 
+/// Generation-tagged event handle: low 32 bits slot index, high 32 bits the
+/// slot's generation at schedule time. Treat as opaque outside EventQueue.
 using EventId = std::uint64_t;
 using EventFn = std::function<void()>;
 
 class EventQueue {
  public:
   /// Schedule `fn` at absolute time `t`. Returns an id usable with cancel().
+  /// `t` must be finite (a NaN would silently corrupt the heap ordering).
   EventId schedule(double t, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op (returns false).
+  /// Cancel a pending event in O(1). Cancelling an already-fired, cancelled,
+  /// or unknown id is a no-op (returns false).
   bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const;
@@ -31,27 +38,66 @@ class EventQueue {
   /// Pops and runs the earliest event; returns its time. Requires !empty().
   double pop_and_run();
 
-  [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return next_id_; }
-  [[nodiscard]] std::size_t pending() const;
+  /// Lifetime count of successful schedule() calls (monotone; NOT an id —
+  /// ids are generation-tagged slot handles and are reused).
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept {
+    return scheduled_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Diagnostics (tests assert memory stays O(pending)): number of callback
+  /// slots ever allocated — tracks the high-water pending count, not the
+  /// lifetime schedule count.
+  [[nodiscard]] std::size_t slab_capacity() const noexcept {
+    return slots_.size();
+  }
+  /// Heap entries currently held, including not-yet-dropped cancelled ones.
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
 
  private:
+  struct Slot {
+    EventFn fn;               // empty == slot free / event retired
+    std::uint32_t gen = 0;    // bumped on fire/cancel; stale ids mismatch
+  };
   struct Entry {
     double t;
+    std::uint64_t seq;  // insertion order: FIFO tie-break for equal times
     EventId id;
-    // Ordering for a max-heap std::priority_queue: we invert to get min-heap.
-    bool operator<(const Entry& other) const noexcept {
-      if (t != other.t) return t > other.t;
-      return id > other.id;
+  };
+  /// std::push_heap builds a max-heap; "less" here means "fires later", so
+  /// the heap top is the earliest (time, seq).
+  struct FiresLater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
     }
   };
 
-  void drop_cancelled() const;
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t gen_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
 
-  mutable std::priority_queue<Entry> heap_;
-  std::vector<EventFn> fns_;  // indexed by id; empty fn == cancelled/fired
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 0;
+  [[nodiscard]] bool stale(const Entry& e) const noexcept {
+    return slots_[slot_of(e.id)].gen != gen_of(e.id);
+  }
+  /// Retire a live slot: clear the callback, invalidate outstanding ids,
+  /// recycle the index.
+  void retire(std::uint32_t slot);
+  /// Pop stale (cancelled) entries off the heap top.
+  void drop_stale() const;
+  /// Rebuild the heap without stale entries once they dominate, bounding heap
+  /// memory by O(pending) even under heavy schedule/cancel churn.
+  void compact();
+
+  mutable std::vector<Entry> heap_;  // binary heap via std::{push,pop}_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t scheduled_ = 0;  // lifetime schedules; doubles as seq source
   std::size_t live_ = 0;
+  mutable std::size_t stale_in_heap_ = 0;
 };
 
 }  // namespace crusader::sim

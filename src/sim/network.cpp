@@ -15,6 +15,16 @@
 
 namespace crusader::sim {
 
+const char* to_string(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kMax: return "max";
+    case DelayKind::kMin: return "min";
+    case DelayKind::kRandom: return "random";
+    case DelayKind::kSplit: return "split";
+  }
+  return "?";
+}
+
 std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind, std::uint32_t n) {
   switch (kind) {
     case DelayKind::kMax: return std::make_unique<MaxDelayPolicy>();

@@ -82,6 +82,8 @@ class SplitDelayPolicy final : public DelayPolicy {
 
 enum class DelayKind { kMax, kMin, kRandom, kSplit };
 
+[[nodiscard]] const char* to_string(DelayKind kind);
+
 [[nodiscard]] std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind,
                                                              std::uint32_t n);
 

@@ -11,6 +11,16 @@
 
 namespace crusader::sim {
 
+const char* to_string(ClockKind kind) {
+  switch (kind) {
+    case ClockKind::kNominal: return "nominal";
+    case ClockKind::kSpread: return "spread";
+    case ClockKind::kRandomWalk: return "random-walk";
+    case ClockKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
 std::vector<NodeId> default_faulty_set(std::uint32_t f) {
   std::vector<NodeId> out(f);
   for (std::uint32_t i = 0; i < f; ++i) out[i] = i;

@@ -28,6 +28,8 @@ enum class ClockKind {
   kCustom,      // WorldConfig::custom_clocks
 };
 
+[[nodiscard]] const char* to_string(ClockKind kind);
+
 struct WorldConfig {
   ModelParams model;
   std::uint64_t seed = 1;

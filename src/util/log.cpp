@@ -1,12 +1,13 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
 #include <string>
 
 namespace crusader::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,12 +21,16 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
   std::cerr << "[" << level_name(level) << "] " << msg << '\n';
 }
 

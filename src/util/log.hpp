@@ -14,8 +14,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emit a line at `level` (thread-unsafe by design: the simulator is
-/// single-threaded; benches run worlds sequentially).
+/// Emit a line at `level`. The level gate is atomic so the sweep runner can
+/// run worlds on worker threads; concurrent emissions may still interleave
+/// on stderr (each world is itself single-threaded).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace crusader::sim {
 namespace {
@@ -25,6 +30,23 @@ TEST(EventQueue, EqualTimesFifo) {
   for (int i = 0; i < 10; ++i) q.schedule(5.0, [&order, i] { order.push_back(i); });
   while (!q.empty()) q.pop_and_run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EqualTimesFifoAcrossSlotReuse) {
+  // Slot recycling must not affect equal-time ordering: the tie-break is the
+  // schedule sequence, not the (reused) slot index.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.schedule(5.0, [&] { order.push_back(0); });
+  q.cancel(a);
+  // Reuses a's slot, but was scheduled after b below would have been...
+  q.schedule(5.0, [&] { order.push_back(1); });
+  q.schedule(5.0, [&] { order.push_back(2); });
+  const EventId c = q.schedule(4.0, [&] { order.push_back(3); });
+  q.cancel(c);
+  q.schedule(5.0, [&] { order.push_back(4); });  // reuses c's slot
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4}));
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
@@ -59,6 +81,34 @@ TEST(EventQueue, CancelMiddleKeepsOthers) {
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
+TEST(EventQueue, StaleIdCannotCancelSlotReuser) {
+  // Generation tags: after a slot is retired and reused, the old id must be
+  // dead — cancelling it is a no-op and must not kill the new occupant.
+  EventQueue q;
+  bool ran = false;
+  const EventId old_id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  const EventId new_id = q.schedule(2.0, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.pending(), 1u);
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, FiredIdIsStale) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.cancel(id));
+  // The slot is recycled for the next event; the old id stays dead.
+  bool ran = false;
+  q.schedule(2.0, [&] { ran = true; });
+  EXPECT_FALSE(q.cancel(id));
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
 TEST(EventQueue, NextTimeReflectsEarliest) {
   EventQueue q;
   q.schedule(7.0, [] {});
@@ -91,6 +141,21 @@ TEST(EventQueue, PendingCount) {
   EXPECT_EQ(q.pending(), 0u);
 }
 
+TEST(EventQueue, ScheduledCountIsLifetimeNotIds) {
+  // scheduled_count() counts schedule() calls over the queue's lifetime; it
+  // is monotone even though ids (slots) are recycled.
+  EventQueue q;
+  EXPECT_EQ(q.scheduled_count(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  q.cancel(a);
+  q.schedule(1.0, [] {});  // reuses a's slot
+  EXPECT_EQ(q.scheduled_count(), 2u);
+  q.pop_and_run();
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.scheduled_count(), 3u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
 TEST(EventQueue, EmptyPopThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop_and_run(), util::CheckFailure);
@@ -99,6 +164,88 @@ TEST(EventQueue, EmptyPopThrows) {
 TEST(EventQueue, NullCallbackRejected) {
   EventQueue q;
   EXPECT_THROW(q.schedule(1.0, EventFn{}), util::CheckFailure);
+}
+
+TEST(EventQueue, NonFiniteTimeRejected) {
+  EventQueue q;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(q.schedule(nan, [] {}), util::CheckFailure);
+  EXPECT_THROW(q.schedule(inf, [] {}), util::CheckFailure);
+  EXPECT_THROW(q.schedule(-inf, [] {}), util::CheckFailure);
+  // A rejected schedule must not leak a slot or count as scheduled.
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.scheduled_count(), 0u);
+  EXPECT_EQ(q.slab_capacity(), 0u);
+}
+
+// The memory-leak regression: a million schedule/cancel/pop cycles with at
+// most ~1e3 events pending must keep storage O(pending), not O(scheduled).
+TEST(EventQueue, StressMemoryBounded) {
+  constexpr std::uint64_t kTotal = 1'000'000;
+  constexpr std::size_t kMaxPending = 1'000;
+
+  EventQueue q;
+  util::Rng rng(0xC0FFEE);
+  double now = 0.0;
+  std::uint64_t fired = 0;
+  std::size_t high_water = 0;
+  std::vector<EventId> open;  // candidates for cancellation (may be stale)
+
+  while (q.scheduled_count() < kTotal) {
+    const std::size_t burst = 1 + rng.below(8);
+    for (std::size_t i = 0; i < burst && q.scheduled_count() < kTotal; ++i) {
+      open.push_back(q.schedule(now + rng.uniform(0.0, 10.0), [&] { ++fired; }));
+    }
+    high_water = std::max(high_water, q.pending());
+    while (q.pending() > kMaxPending ||
+           (q.pending() > 0 && rng.chance(0.3))) {
+      if (!open.empty() && rng.chance(0.5)) {
+        const std::size_t pick = rng.below(open.size());
+        q.cancel(open[pick]);  // may be stale already; then it's a no-op
+        open[pick] = open.back();
+        open.pop_back();
+      } else {
+        now = q.pop_and_run();
+      }
+    }
+    if (open.size() > 4 * kMaxPending) {
+      open.erase(open.begin(), open.end() - 2 * kMaxPending);
+    }
+  }
+  while (!q.empty()) now = q.pop_and_run();
+
+  EXPECT_EQ(q.scheduled_count(), kTotal);
+  EXPECT_LE(high_water, kMaxPending + 8);
+  // The headline assertion: slab capacity tracks the high-water pending
+  // count, within a small constant — NOT the 1e6 lifetime schedules.
+  EXPECT_LE(q.slab_capacity(), high_water + 8);
+  // Heap storage (including lazily-dropped cancelled entries) is bounded by
+  // a small multiple of the high-water mark thanks to compaction.
+  EXPECT_LE(q.heap_size(), 2 * high_water + 130);
+  EXPECT_GT(fired, 0u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+// Pure schedule+cancel churn (nothing ever pops): the pathological case for
+// the heap, since cancelled entries only leave via compaction.
+TEST(EventQueue, CancelChurnKeepsHeapBounded) {
+  EventQueue q;
+  util::Rng rng(42);
+  std::size_t high_water = 0;
+  std::vector<EventId> open;
+  for (int i = 0; i < 200'000; ++i) {
+    open.push_back(q.schedule(rng.uniform(0.0, 1.0), [] {}));
+    high_water = std::max(high_water, q.pending());
+    if (open.size() > 64) {
+      const std::size_t pick = rng.below(open.size());
+      EXPECT_TRUE(q.cancel(open[pick]));
+      open[pick] = open.back();
+      open.pop_back();
+    }
+  }
+  EXPECT_LE(q.slab_capacity(), high_water + 8);
+  EXPECT_LE(q.heap_size(), 2 * high_water + 130);
 }
 
 }  // namespace

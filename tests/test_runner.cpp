@@ -1,0 +1,211 @@
+#include "runner/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/export.hpp"
+#include "runner/scenario.hpp"
+
+namespace crusader::runner {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid grid;
+  grid.protocols = {baselines::ProtocolKind::kCps,
+                    baselines::ProtocolKind::kSrikanthToueg};
+  grid.ns = {4, 5};
+  grid.fault_loads = {0, SweepGrid::kMaxResilience};
+  grid.delays = {sim::DelayKind::kRandom};
+  grid.strategies = {core::ByzStrategy::kCrash};
+  grid.rounds = 6;
+  grid.warmup = 2;
+  return grid;
+}
+
+TEST(Scenario, GridExpansionCountAndOrder) {
+  const auto specs = small_grid().expand();
+  // 2 protocols × 2 n × 2 fault loads × 1 vartheta × 1 u × 1 delay; the
+  // strategy axis collapses for fault-free points and has one entry anyway.
+  ASSERT_EQ(specs.size(), 8u);
+  // Outermost axis is the protocol: first half CPS, second half ST.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(specs[i].protocol, baselines::ProtocolKind::kCps);
+  for (std::size_t i = 4; i < 8; ++i)
+    EXPECT_EQ(specs[i].protocol, baselines::ProtocolKind::kSrikanthToueg);
+  // kMaxResilience resolves to the protocol-appropriate bound.
+  EXPECT_EQ(specs[1].f, sim::ModelParams::max_faults_signed(4));
+  EXPECT_EQ(specs[1].f, specs[1].f_actual);
+}
+
+TEST(Scenario, FaultFreePointsIgnoreStrategyAxis) {
+  auto grid = small_grid();
+  grid.strategies = {core::ByzStrategy::kCrash, core::ByzStrategy::kSplit,
+                     core::ByzStrategy::kReplay};
+  const auto specs = grid.expand();
+  // Fault-free points contribute 1 spec each; faulty points 3 each.
+  EXPECT_EQ(specs.size(), 2u * 2u * (1u + 3u));
+}
+
+TEST(Scenario, CollapsedFaultLoadsDedupe) {
+  // LW at n = 3 has max resilience 0, so {0, max} collapses to one spec —
+  // not two identical worlds with identical keys and seeds.
+  SweepGrid grid;
+  grid.protocols = {baselines::ProtocolKind::kLynchWelch};
+  grid.ns = {3};
+  grid.fault_loads = {0, SweepGrid::kMaxResilience};
+  EXPECT_EQ(grid.expand().size(), 1u);
+}
+
+TEST(Scenario, MaxResiliencePerProtocol) {
+  EXPECT_EQ(max_resilience(baselines::ProtocolKind::kCps, 7), 3u);
+  EXPECT_EQ(max_resilience(baselines::ProtocolKind::kSrikanthToueg, 7), 3u);
+  EXPECT_EQ(max_resilience(baselines::ProtocolKind::kLynchWelch, 7), 2u);
+}
+
+TEST(Scenario, KeyIsStableAndAxisSensitive) {
+  ScenarioSpec a;
+  ScenarioSpec b;
+  EXPECT_EQ(a.key(), b.key());
+  b.n = a.n + 1;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.vartheta += 1e-9;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.delay = sim::DelayKind::kSplit;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Scenario, KeysDistinctAcrossGrid) {
+  auto grid = small_grid();
+  grid.varthetas = {1.005, 1.01};
+  grid.us = {0.02, 0.05};
+  const auto specs = grid.expand();
+  std::set<std::uint64_t> keys;
+  for (const auto& spec : specs) keys.insert(spec.key());
+  EXPECT_EQ(keys.size(), specs.size());
+}
+
+TEST(Runner, SeedDerivationIsPositionIndependent) {
+  const auto specs = small_grid().expand();
+  // The seed depends on (base_seed, spec) only — not on grid position.
+  for (const auto& spec : specs)
+    EXPECT_EQ(scenario_seed(spec, 99), scenario_seed(spec, 99));
+  EXPECT_NE(scenario_seed(specs[0], 99), scenario_seed(specs[0], 100));
+  EXPECT_NE(scenario_seed(specs[0], 99), scenario_seed(specs[1], 99));
+}
+
+TEST(Runner, InfeasibleScenarioIsReportedNotRun) {
+  ScenarioSpec spec;
+  spec.vartheta = 2.0;  // far beyond Corollary 4's drift ceiling for CPS
+  spec.u_tilde = spec.u;
+  const auto result = run_scenario(spec);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.error.empty());
+  EXPECT_EQ(result.rounds_completed, 0u);
+  // Metric contract: all doubles (incl. the bound) are NaN for such rows.
+  EXPECT_TRUE(std::isnan(result.predicted_skew));
+  EXPECT_TRUE(std::isnan(result.max_skew));
+}
+
+TEST(Runner, InvalidModelBecomesErrorNotCrash) {
+  ScenarioSpec spec;
+  spec.n = 4;
+  spec.f = 4;  // f must be < n
+  spec.f_actual = 4;
+  const auto result = run_scenario(spec);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Runner, FaultFreeCpsWithinTheoremBound) {
+  ScenarioSpec spec;
+  spec.protocol = baselines::ProtocolKind::kCps;
+  spec.n = 4;
+  spec.f = 0;
+  spec.f_actual = 0;
+  spec.rounds = 8;
+  spec.warmup = 2;
+  const auto result = run_scenario(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.live);
+  EXPECT_EQ(result.rounds_completed, spec.rounds);
+  EXPECT_TRUE(result.within_bound)
+      << "skew " << result.max_skew << " > bound " << result.predicted_skew;
+  EXPECT_EQ(result.violations, 0u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+// The acceptance-criterion test: same specs + same seed must produce a
+// byte-identical CSV no matter how many worker threads execute the sweep.
+TEST(Runner, SweepCsvIdenticalAcrossThreadCounts) {
+  const auto specs = small_grid().expand();
+
+  RunnerOptions serial;
+  serial.base_seed = 7;
+  serial.threads = 1;
+  const auto report1 = run_sweep(specs, serial);
+
+  RunnerOptions parallel = serial;
+  parallel.threads = 4;
+  const auto report4 = run_sweep(specs, parallel);
+
+  const std::string csv1 = to_csv(report1);
+  const std::string csv4 = to_csv(report4);
+  EXPECT_FALSE(csv1.empty());
+  EXPECT_EQ(csv1, csv4);
+
+  // And it really ran: every scenario feasible here completes its rounds.
+  for (const auto& r : report1.results) {
+    EXPECT_TRUE(r.error.empty()) << r.spec.name() << ": " << r.error;
+    if (r.feasible) {
+      EXPECT_TRUE(r.live) << r.spec.name();
+    }
+  }
+}
+
+TEST(Runner, ByProtocolSummaryCounts) {
+  const auto specs = small_grid().expand();
+  const auto report = run_sweep(specs, {});
+  const auto summaries = report.by_protocol();
+  ASSERT_EQ(summaries.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& s : summaries) total += s.scenarios;
+  EXPECT_EQ(total, specs.size());
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerScenario) {
+  const auto specs = small_grid().expand();
+  const auto report = run_sweep(specs, {});
+  const std::string csv = to_csv(report);
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, specs.size() + 1);
+  EXPECT_EQ(csv.rfind("scenario,protocol,n,f,", 0), 0u);
+}
+
+TEST(Export, JsonWellFormedEnough) {
+  ScenarioSpec spec;  // default CPS fault-free
+  spec.rounds = 4;
+  spec.warmup = 1;
+  SweepReport report;
+  report.results.push_back(run_scenario(spec));
+  std::ostringstream os;
+  write_json(os, report);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"protocol\": \"CPS\""), std::string::npos);
+  EXPECT_NE(json.find("\"within_bound\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crusader::runner
