@@ -173,6 +173,12 @@ int run_lower_bound(const Options& opt) {
 
   const auto report =
       lowerbound::run_theorem5(opt.protocol, model, opt.rounds);
+  if (!report.feasible) {
+    std::cerr << "crusader_cli: " << baselines::to_string(opt.protocol)
+              << " constants are unsolvable for this model; the construction "
+                 "did not run\n";
+    return 1;
+  }
   util::Table table("Theorem 5 lower bound");
   table.set_header({"metric", "value"});
   table.add_row({"protocol", baselines::to_string(opt.protocol)});

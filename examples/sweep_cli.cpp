@@ -3,25 +3,40 @@
 //   $ ./sweep_cli                                # default 36-scenario sweep
 //   $ ./sweep_cli --protocols=cps,st --n=4,5 --faults=0 --rounds=6
 //                 --threads=2 --format=table     # CI smoke sweep (one line)
-//   $ ./sweep_cli --format=csv --out=sweep.csv --threads=4
+//   $ ./sweep_cli --world relay --topology hypercube --format=csv
+//   $ ./sweep_cli --world theorem5 --u-tilde 0.2
 //
-// Axes (comma-separated lists expand to the cross product):
+// Flags take `--key=value` or `--key value`. Axes (comma-separated lists
+// expand to the cross product):
+//   --world=complete,relay,theorem5  simulation worlds (complete graph /
+//                                    Appendix-A sparse relay / Theorem-5
+//                                    lower-bound construction)
 //   --protocols=cps,lw,st      protocol kinds
-//   --n=4,7,9                  cluster sizes
+//   --n=4,7,9                  cluster sizes (relay: topology size;
+//                              theorem5 pins n=3)
 //   --faults=0,max             faulty-node counts ("max" = the protocol's
-//                              optimal resilience at that n)
+//                              optimal resilience at that n, capped by the
+//                              topology's connectivity for relay worlds)
 //   --vartheta=1.01            clock drift bounds
-//   --u=0.05                   delay uncertainties
+//   --u=0.05                   delay uncertainties (per-hop u_hop for relay)
+//   --u-tilde=0.1,0.2          faulty-link uncertainties ũ (default: ũ = u);
+//                              the Theorem-5 construction's ũ
+//   --topology=ring,hypercube  relay topology families
+//                              (complete|ring|hypercube|random)
 //   --delays=random,split      delay policies (max|min|random|split)
+//   --clocks=spread,random-walk  clock assignments (nominal|spread|random-walk)
 //   --byz=crash,split          Byzantine strategies (only for faults > 0);
 //                              also accepts st-accel
 // Scalars:
 //   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
+//   --gate=RATIO   fail (exit 1) when any feasible completed scenario has
+//                  max_skew/bound > RATIO — or, for theorem5 scenarios,
+//                  fails to realize its lower bound
 // Output:
 //   --format=csv|json|table (default table)   --out=FILE (default stdout)
 //
-// Exit status is non-zero if any scenario errored, or any feasible
-// fault-free CPS scenario exceeded its Theorem-17 skew bound.
+// Exit status is non-zero if any scenario errored, any feasible fault-free
+// CPS scenario exceeded its Theorem-17 skew bound, or the --gate tripped.
 
 #include <cstdint>
 #include <fstream>
@@ -50,33 +65,6 @@ std::vector<std::string> split(const std::string& csv) {
   return out;
 }
 
-std::optional<baselines::ProtocolKind> parse_protocol(const std::string& s) {
-  if (s == "cps") return baselines::ProtocolKind::kCps;
-  if (s == "lw" || s == "lynch-welch") return baselines::ProtocolKind::kLynchWelch;
-  if (s == "st" || s == "srikanth-toueg")
-    return baselines::ProtocolKind::kSrikanthToueg;
-  return std::nullopt;
-}
-
-std::optional<sim::DelayKind> parse_delay(const std::string& s) {
-  if (s == "max") return sim::DelayKind::kMax;
-  if (s == "min") return sim::DelayKind::kMin;
-  if (s == "random") return sim::DelayKind::kRandom;
-  if (s == "split") return sim::DelayKind::kSplit;
-  return std::nullopt;
-}
-
-std::optional<core::ByzStrategy> parse_byz(const std::string& s) {
-  if (s == "crash") return core::ByzStrategy::kCrash;
-  if (s == "echo-rush") return core::ByzStrategy::kEchoRush;
-  if (s == "split") return core::ByzStrategy::kSplit;
-  if (s == "pull-early") return core::ByzStrategy::kPullEarly;
-  if (s == "pull-late") return core::ByzStrategy::kPullLate;
-  if (s == "replay") return core::ByzStrategy::kReplay;
-  if (s == "random") return core::ByzStrategy::kRandom;
-  return std::nullopt;
-}
-
 int fail(const std::string& msg) {
   std::cerr << "sweep_cli: " << msg << "\n";
   return 2;
@@ -86,12 +74,13 @@ void print_table(std::ostream& os, const runner::SweepReport& report) {
   util::Table table("scenario sweep (" +
                     std::to_string(report.results.size()) + " scenarios)");
   table.set_header({"scenario", "feasible", "live", "steady skew", "bound",
-                    "ok", "messages", "violations", "error"});
+                    "ratio", "ok", "messages", "violations", "error"});
   for (const auto& r : report.results) {
     table.add_row({r.spec.name(), util::Table::boolean(r.feasible),
                    util::Table::boolean(r.live),
                    r.rounds_completed ? util::Table::num(r.steady_skew, 4) : "-",
                    r.feasible ? util::Table::num(r.predicted_skew, 4) : "-",
+                   r.rounds_completed ? util::Table::num(r.skew_ratio, 3) : "-",
                    util::Table::boolean(r.within_bound),
                    std::to_string(r.messages), std::to_string(r.violations),
                    r.error.empty() ? "-" : r.error});
@@ -134,23 +123,42 @@ int main(int argc, char** argv) {
   std::string format = "table";
   std::string out_path;
   bool st_accel = false;
+  bool n_given = false;
+  std::optional<double> gate;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      return fail("expected --key=value or --key value, got '" + arg + "'");
     const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos)
-      return fail("expected --key=value, got '" + arg + "'");
-    const std::string key = arg.substr(2, eq - 2);
-    const std::string value = arg.substr(eq + 1);
+    std::string key;
+    std::string value;
+    if (eq != std::string::npos) {
+      key = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg.substr(2);
+      if (i + 1 >= argc)
+        return fail("missing value for --" + key);
+      value = argv[++i];
+    }
     try {
-      if (key == "protocols") {
+      if (key == "world") {
+        grid.worlds.clear();
+        for (const auto& s : split(value)) {
+          const auto w = runner::parse_world(s);
+          if (!w) return fail("unknown world '" + s + "'");
+          grid.worlds.push_back(*w);
+        }
+      } else if (key == "protocols") {
         grid.protocols.clear();
         for (const auto& s : split(value)) {
-          const auto p = parse_protocol(s);
+          const auto p = runner::parse_protocol(s);
           if (!p) return fail("unknown protocol '" + s + "'");
           grid.protocols.push_back(*p);
         }
       } else if (key == "n") {
+        n_given = true;
         grid.ns.clear();
         for (const auto& s : split(value))
           grid.ns.push_back(static_cast<std::uint32_t>(std::stoul(s)));
@@ -172,12 +180,29 @@ int main(int argc, char** argv) {
       } else if (key == "u") {
         grid.us.clear();
         for (const auto& s : split(value)) grid.us.push_back(std::stod(s));
+      } else if (key == "u-tilde" || key == "u_tilde") {
+        grid.u_tildes.clear();
+        for (const auto& s : split(value)) grid.u_tildes.push_back(std::stod(s));
+      } else if (key == "topology") {
+        grid.topologies.clear();
+        for (const auto& s : split(value)) {
+          const auto t = runner::parse_topology(s);
+          if (!t) return fail("unknown topology '" + s + "'");
+          grid.topologies.push_back(*t);
+        }
       } else if (key == "delays") {
         grid.delays.clear();
         for (const auto& s : split(value)) {
-          const auto dk = parse_delay(s);
+          const auto dk = runner::parse_delay_kind(s);
           if (!dk) return fail("unknown delay policy '" + s + "'");
           grid.delays.push_back(*dk);
+        }
+      } else if (key == "clocks") {
+        grid.clock_kinds.clear();
+        for (const auto& s : split(value)) {
+          const auto ck = runner::parse_clock_kind(s);
+          if (!ck) return fail("unknown clock kind '" + s + "'");
+          grid.clock_kinds.push_back(*ck);
         }
       } else if (key == "byz") {
         grid.strategies.clear();
@@ -187,7 +212,7 @@ int main(int argc, char** argv) {
             st_accel = true;
             continue;
           }
-          const auto b = parse_byz(s);
+          const auto b = runner::parse_byz_strategy(s);
           if (!b) return fail("unknown byz strategy '" + s + "'");
           grid.strategies.push_back(*b);
         }
@@ -205,6 +230,8 @@ int main(int argc, char** argv) {
         options.base_seed = std::stoull(value);
       } else if (key == "threads") {
         options.threads = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "gate") {
+        gate = std::stod(value);
       } else if (key == "format") {
         if (value != "csv" && value != "json" && value != "table")
           return fail("unknown format '" + value + "'");
@@ -219,13 +246,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The flat-world default n axis {4,7,9} makes poor sparse topologies (a
+  // hypercube needs a power of two). When every requested world is
+  // relay/theorem5 and no --n was given, default to one topology-friendly
+  // size instead.
+  bool any_complete = false;
+  for (const auto w : grid.worlds)
+    if (w == runner::WorldKind::kComplete) any_complete = true;
+  if (!n_given && !any_complete) grid.ns = {8};
+
   auto specs = grid.expand();
   if (st_accel) {
     // Add ST certificate-acceleration variants for every faulty ST point.
     std::vector<runner::ScenarioSpec> extra;
     for (const auto& spec : specs) {
       if (spec.protocol == baselines::ProtocolKind::kSrikanthToueg &&
-          spec.f_actual > 0) {
+          spec.world == runner::WorldKind::kComplete && spec.f_actual > 0) {
         auto attack = spec;
         attack.st_accelerator = true;
         extra.push_back(attack);
@@ -250,15 +286,25 @@ int main(int argc, char** argv) {
   else
     print_table(os, report);
 
-  // Gate: no errors, and fault-free CPS always within the Theorem-17 bound.
+  // Gates: no errors; fault-free CPS always within the Theorem-17 bound; and
+  // the optional --gate ratio over every world's realized-vs-bound ratio.
   int status = 0;
   for (const auto& r : report.results) {
     if (!r.error.empty()) status = 1;
     if (r.spec.protocol == baselines::ProtocolKind::kCps && r.feasible &&
-        r.spec.f_actual == 0 && r.rounds_completed > 0 && !r.within_bound)
+        r.spec.world != runner::WorldKind::kTheorem5 && r.spec.f_actual == 0 &&
+        r.rounds_completed > 0 && !r.within_bound)
       status = 1;
   }
+  if (gate) {
+    const std::size_t tripped = runner::count_gate_violations(report, *gate);
+    if (tripped > 0) {
+      std::cerr << "sweep_cli: --gate=" << *gate << " tripped by " << tripped
+                << " scenario(s)\n";
+      status = 1;
+    }
+  }
   if (status != 0)
-    std::cerr << "sweep_cli: FAILED (errors or CPS bound violations)\n";
+    std::cerr << "sweep_cli: FAILED (errors, bound violations, or gate)\n";
   return status;
 }

@@ -12,13 +12,18 @@ Theorem5Report run_theorem5(baselines::ProtocolKind protocol,
   CS_CHECK(model.n == 3);
 
   const auto setup = baselines::make_setup(protocol, model);
-  CS_CHECK_MSG(setup.feasible, "protocol infeasible for this model");
+  if (!setup.feasible) {
+    Theorem5Report report;
+    report.protocol = protocol;
+    report.u_tilde = model.u_tilde;
+    return report;  // feasible == false; construction not run
+  }
 
   TripleConfig config;
   config.model = model;
   config.target_rounds = target_rounds;
   // Master horizon: ramp length plus enough rounds, with generous margin.
-  const double ramp = 2.0 * model.u_tilde / (3.0 * (model.vartheta - 1.0));
+  const double ramp = model.theorem5_bound() / (model.vartheta - 1.0);
   config.master_horizon =
       ramp + (static_cast<double>(target_rounds) + 20.0) * setup.round_length +
       100.0 * model.d;
@@ -28,6 +33,7 @@ Theorem5Report run_theorem5(baselines::ProtocolKind protocol,
 
   Theorem5Report report;
   report.protocol = protocol;
+  report.feasible = true;
   report.u_tilde = model.u_tilde;
   report.bound = result.bound;
   report.max_skew = result.max_skew;

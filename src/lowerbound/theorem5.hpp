@@ -11,6 +11,9 @@ namespace crusader::lowerbound {
 
 struct Theorem5Report {
   baselines::ProtocolKind protocol = baselines::ProtocolKind::kCps;
+  /// False when the protocol's constants are unsolvable for this model; the
+  /// construction did not run and every metric below is zero.
+  bool feasible = false;
   double u_tilde = 0.0;
   double bound = 0.0;     ///< 2ũ/3
   double max_skew = 0.0;  ///< realized, over settled rounds
@@ -21,7 +24,9 @@ struct Theorem5Report {
 };
 
 /// Runs the construction for the given protocol. `model.n` must be 3 and
-/// `model.u_tilde` is the ũ the construction uses on faulty links.
+/// `model.u_tilde` is the ũ the construction uses on faulty links. An
+/// infeasible model yields feasible == false rather than a throw (sweeps
+/// must distinguish "can't solve constants" from real failures).
 [[nodiscard]] Theorem5Report run_theorem5(baselines::ProtocolKind protocol,
                                           const sim::ModelParams& model,
                                           std::size_t target_rounds = 40);

@@ -20,9 +20,9 @@ sim::HardwareClock make_fast_clock(double vartheta, double ramp_end) {
 TripleExecution::TripleExecution(const TripleConfig& config,
                                  sim::HonestFactory factory)
     : config_(config),
-      ramp_end_(2.0 * config.model.u_tilde /
-                (3.0 * (config.model.vartheta - 1.0))),
-      c_((config.model.d - 2.0 * config.model.u_tilde / 3.0) / 2.0),
+      ramp_end_(config.model.theorem5_bound() /
+                (config.model.vartheta - 1.0)),
+      c_((config.model.d - config.model.theorem5_bound()) / 2.0),
       fast_clock_(make_fast_clock(config.model.vartheta, ramp_end_)) {
   CS_CHECK_MSG(config_.model.n == 3, "the construction is for n = 3");
   config_.model.validate();
@@ -95,7 +95,7 @@ TripleResult TripleExecution::run() {
   }
 
   TripleResult result;
-  result.bound = 2.0 * config_.model.u_tilde / 3.0;
+  result.bound = config_.model.theorem5_bound();
   for (NodeId j = 0; j < 3; ++j)
     result.local_pulses[j] = views_[j]->local_pulses();
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace crusader::relay {
 
@@ -160,6 +161,42 @@ Topology Topology::ring_of_cliques(std::uint32_t cliques, std::uint32_t size,
     for (std::uint32_t b = 0; b < bridges; ++b)
       topo.add_edge(id(c, b), id(next, size - 1 - b));
   }
+  return topo;
+}
+
+Topology Topology::hypercube(std::uint32_t dim) {
+  CS_CHECK_MSG(dim >= 1 && dim < 31, "hypercube dimension out of range");
+  const std::uint32_t n = 1u << dim;
+  Topology topo(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (std::uint32_t bit = 0; bit < dim; ++bit)
+      topo.add_edge(v, v ^ (1u << bit));
+  return topo;
+}
+
+Topology Topology::random_connected(std::uint32_t n, std::uint32_t f,
+                                    std::uint64_t seed) {
+  CS_CHECK_MSG(f + 2 <= n, "need at least f+2 nodes for f faults");
+  Topology topo = ring(n);
+  if (topo.survives_faults(f)) return topo;
+  util::Rng rng(seed);
+  // Add random chords until (f+1)-connected. The complete graph is an upper
+  // bound, so this terminates; re-checking connectivity every few edges keeps
+  // the brute-force check off the hot path.
+  const std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
+  std::uint32_t since_check = 0;
+  while (topo.edge_count() < max_edges) {
+    const NodeId a = static_cast<NodeId>(rng.next_u64() % n);
+    const NodeId b = static_cast<NodeId>(rng.next_u64() % n);
+    if (a == b || topo.has_edge(a, b)) continue;
+    topo.add_edge(a, b);
+    if (++since_check >= 2 || topo.edge_count() == max_edges) {
+      since_check = 0;
+      if (topo.survives_faults(f)) return topo;
+    }
+  }
+  CS_CHECK_MSG(topo.survives_faults(f),
+               "random_connected failed to reach (f+1)-connectivity");
   return topo;
 }
 

@@ -56,6 +56,16 @@ class Topology {
   [[nodiscard]] static Topology ring_of_cliques(std::uint32_t cliques,
                                                 std::uint32_t size,
                                                 std::uint32_t bridges);
+  /// k-dimensional hypercube on 2^dim nodes: k-connected with diameter k —
+  /// the classic sparse topology with logarithmic relay distance.
+  [[nodiscard]] static Topology hypercube(std::uint32_t dim);
+  /// Random (f+1)-connected graph: a Hamiltonian ring (guaranteeing
+  /// connectivity) plus uniformly random chords added until the graph
+  /// survives f faults. Deterministic in `seed`. Intended for the small n of
+  /// sweeps (survives_faults is brute force).
+  [[nodiscard]] static Topology random_connected(std::uint32_t n,
+                                                 std::uint32_t f,
+                                                 std::uint64_t seed);
 
  private:
   void for_each_faulty_set(std::uint32_t f,

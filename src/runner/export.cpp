@@ -74,6 +74,9 @@ std::vector<Field> fields(const ScenarioResult& r) {
   };
   add("scenario", {"", s.name(), true});
   add("protocol", {"", baselines::to_string(s.protocol), true});
+  add("world", {"", to_string(s.world), true});
+  add("topology",
+      {"", s.world == WorldKind::kRelay ? to_string(s.topology) : "-", true});
   add("n", {"", std::to_string(s.n)});
   add("f", {"", std::to_string(s.f)});
   add("f_actual", {"", std::to_string(s.f_actual)});
@@ -103,6 +106,14 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("max_period", metric(r.max_period));
   add("predicted_skew", metric(r.predicted_skew));
   add("within_bound", {"", r.within_bound ? "1" : "0"});
+  add("skew_ratio", metric(r.skew_ratio));
+  add("d_eff", metric(r.d_eff));
+  add("u_eff", metric(r.u_eff));
+  // Relay-only like d_eff/u_eff: empty (JSON null) where not applicable, so
+  // consumers never mistake "no overlay" for a zero-hop overlay.
+  add("worst_hops", s.world == WorldKind::kRelay
+                        ? Field{"", std::to_string(r.worst_hops)}
+                        : Field{"", "", false, true});
   add("messages", {"", std::to_string(r.messages)});
   add("events", {"", std::to_string(r.events)});
   add("sign_ops", {"", std::to_string(r.sign_ops)});

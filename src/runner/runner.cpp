@@ -10,13 +10,189 @@
 #include <utility>
 
 #include "core/adversaries.hpp"
+#include "lowerbound/theorem5.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
 #include "sim/trace.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace crusader::runner {
 
 namespace {
+
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Steady-state skew statistics shared by the complete and relay paths.
+void fill_skew_metrics(const sim::PulseTrace& trace, const ScenarioSpec& spec,
+                       ScenarioResult& result) {
+  result.max_skew = trace.max_skew();
+  result.min_period = trace.min_period();
+  result.max_period = trace.max_period();
+  util::Samples steady;
+  const auto skews = trace.skews();
+  for (std::size_t r = spec.warmup; r < skews.size(); ++r) steady.add(skews[r]);
+  if (!steady.empty()) {
+    result.steady_skew = steady.max();
+    result.skew_p50 = steady.median();
+    result.skew_p99 = steady.quantile(0.99);
+  }
+}
+
+/// Materialize the spec's topology family. Random topologies are grown from
+/// the scenario seed, so the realized graph is a pure function of
+/// (base_seed, spec) — independent of threads and grid position.
+relay::Topology build_topology(const ScenarioSpec& spec, std::uint64_t seed) {
+  switch (spec.topology) {
+    case TopologyKind::kComplete:
+      return relay::Topology::complete(spec.n);
+    case TopologyKind::kRing:
+      return relay::Topology::ring(spec.n);
+    case TopologyKind::kHypercube: {
+      CS_CHECK_MSG(spec.n >= 2 && (spec.n & (spec.n - 1)) == 0,
+                   "hypercube topology requires n to be a power of two");
+      std::uint32_t dim = 0;
+      while ((1u << dim) < spec.n) ++dim;
+      return relay::Topology::hypercube(dim);
+    }
+    case TopologyKind::kRandomConnected:
+      return relay::Topology::random_connected(spec.n, spec.f,
+                                               seed ^ 0x70701063ULL);
+  }
+  CS_CHECK_MSG(false, "unknown topology kind");
+  return relay::Topology::complete(spec.n);
+}
+
+/// PR-2 path: the fully-connected World with Byzantine adversaries.
+void run_complete_world(const ScenarioSpec& spec, const RunnerOptions& options,
+                        ScenarioResult& result) {
+  // Protocol constants are solved for spec.f; the world's model additionally
+  // admits f_actual faulty nodes when a scenario probes beyond-resilience
+  // behavior (f_actual > f).
+  const auto model = spec.model();
+  model.validate();
+  auto world_model = model;
+  world_model.f = std::max(spec.f, spec.f_actual);
+  world_model.validate();
+  const auto setup = baselines::make_setup(spec.protocol, model, spec.slack);
+  result.feasible = setup.feasible;
+  if (!setup.feasible) return;  // predicted_skew stays NaN
+  result.predicted_skew = setup.predicted_skew;
+
+  auto honest =
+      baselines::make_protocol_factory(setup, static_cast<Round>(spec.rounds));
+
+  sim::WorldConfig config;
+  config.model = world_model;
+  config.seed = result.seed;
+  config.initial_offset = setup.initial_offset;
+  config.horizon = setup.initial_offset +
+                   static_cast<double>(spec.rounds + 2) * setup.round_length;
+  config.clock_kind = spec.clocks;
+  config.delay_kind = spec.delay;
+  config.faulty = sim::default_faulty_set(spec.f_actual);
+
+  sim::ByzantineFactory byz;
+  if (spec.f_actual > 0) {
+    byz = spec.st_accelerator
+              ? core::make_st_accelerator_factory(spec.n - 1)
+              : core::make_byzantine_factory(spec.strategy, honest,
+                                             result.seed, spec.late_shift,
+                                             spec.split_shift);
+  }
+
+  sim::World world(config, std::move(honest), std::move(byz));
+  const sim::RunResult run = world.run();
+
+  result.live = run.trace.live(spec.rounds);
+  result.rounds_completed = run.trace.complete_rounds();
+  result.messages = run.messages;
+  result.events = run.events;
+  result.sign_ops = run.sign_ops;
+  result.verify_ops = run.verify_ops;
+  result.signatures_carried = run.signatures_carried;
+  result.violations = run.violations.size();
+
+  if (result.rounds_completed > 0) {
+    fill_skew_metrics(run.trace, spec, result);
+    result.within_bound =
+        result.max_skew <= result.predicted_skew + options.bound_tolerance;
+  }
+}
+
+/// Appendix-A path: flood the protocol over a sparse (f+1)-connected
+/// topology; the bound is Theorem 17 evaluated at the effective model.
+void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
+                     ScenarioResult& result) {
+  const auto hop_model = spec.model();  // spec.d/u are per-hop here
+  hop_model.validate();
+
+  relay::RelayConfig config;
+  config.topology = build_topology(spec, result.seed);
+  config.hop_model = hop_model;
+  config.seed = result.seed;
+  config.clock_kind = spec.clocks;
+  config.delay_kind = spec.delay;
+  // Faulty relays crash (drop everything) — the Appendix-A worst case.
+  config.faulty = sim::default_faulty_set(spec.f_actual);
+
+  const auto effective = relay::effective_model(config);
+  result.d_eff = effective.d;
+  result.u_eff = effective.u;
+
+  const auto setup =
+      baselines::make_setup(spec.protocol, effective, spec.slack);
+  result.feasible = setup.feasible;
+  if (!setup.feasible) return;
+  result.predicted_skew = setup.predicted_skew;
+
+  config.initial_offset = setup.initial_offset;
+  config.horizon = setup.initial_offset +
+                   static_cast<double>(spec.rounds + 2) * setup.round_length;
+
+  relay::RelayWorld world(
+      config,
+      baselines::make_protocol_factory(setup, static_cast<Round>(spec.rounds)));
+  const relay::RelayRunResult run = world.run();
+
+  result.worst_hops = run.worst_hops;
+  result.live = run.trace.live(spec.rounds);
+  result.rounds_completed = run.trace.complete_rounds();
+  result.messages = run.physical_messages;
+  result.events = run.floods;
+
+  if (result.rounds_completed > 0) {
+    fill_skew_metrics(run.trace, spec, result);
+    result.within_bound =
+        result.max_skew <= result.predicted_skew + options.bound_tolerance;
+  }
+}
+
+/// Theorem-5 path: the three-execution adversary. predicted_skew is the
+/// 2ũ/3 LOWER bound; within_bound records whether the construction realized
+/// it (bound_holds).
+void run_theorem5_world(const ScenarioSpec& spec, ScenarioResult& result) {
+  const auto model = spec.model();
+  CS_CHECK_MSG(model.n == 3, "theorem5 world requires n = 3");
+  model.validate();
+
+  const auto report =
+      lowerbound::run_theorem5(spec.protocol, model, spec.rounds);
+  result.feasible = report.feasible;
+  if (!report.feasible) return;
+
+  result.predicted_skew = report.bound;
+  result.rounds_completed = report.rounds;
+  result.live = report.rounds >= spec.rounds;
+  if (report.rounds > 0) {
+    result.max_skew = report.max_skew;
+    // The construction reports its post-ramp maximum; that is the
+    // steady-state figure for this world.
+    result.steady_skew = report.max_skew;
+    result.within_bound = report.bound_holds;
+  }
+}
+
 }  // namespace
 
 std::uint64_t scenario_seed(const ScenarioSpec& spec,
@@ -36,71 +212,25 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   result.min_period = kNan;
   result.max_period = kNan;
   result.predicted_skew = kNan;
+  result.skew_ratio = kNan;
+  result.d_eff = kNan;
+  result.u_eff = kNan;
 
   try {
-    // Protocol constants are solved for spec.f; the world's model additionally
-    // admits f_actual faulty nodes when a scenario probes beyond-resilience
-    // behavior (f_actual > f).
-    const auto model = spec.model();
-    model.validate();
-    auto world_model = model;
-    world_model.f = std::max(spec.f, spec.f_actual);
-    world_model.validate();
-    const auto setup = baselines::make_setup(spec.protocol, model, spec.slack);
-    result.feasible = setup.feasible;
-    if (!setup.feasible) return result;  // predicted_skew stays NaN
-    result.predicted_skew = setup.predicted_skew;
-
-    auto honest = baselines::make_protocol_factory(
-        setup, static_cast<Round>(spec.rounds));
-
-    sim::WorldConfig config;
-    config.model = world_model;
-    config.seed = result.seed;
-    config.initial_offset = setup.initial_offset;
-    config.horizon = setup.initial_offset +
-                     static_cast<double>(spec.rounds + 2) * setup.round_length;
-    config.clock_kind = spec.clocks;
-    config.delay_kind = spec.delay;
-    config.faulty = sim::default_faulty_set(spec.f_actual);
-
-    sim::ByzantineFactory byz;
-    if (spec.f_actual > 0) {
-      byz = spec.st_accelerator
-                ? core::make_st_accelerator_factory(spec.n - 1)
-                : core::make_byzantine_factory(spec.strategy, honest,
-                                               result.seed, spec.late_shift,
-                                               spec.split_shift);
+    switch (spec.world) {
+      case WorldKind::kComplete:
+        run_complete_world(spec, options, result);
+        break;
+      case WorldKind::kRelay:
+        run_relay_world(spec, options, result);
+        break;
+      case WorldKind::kTheorem5:
+        run_theorem5_world(spec, result);
+        break;
     }
-
-    sim::World world(config, std::move(honest), std::move(byz));
-    const sim::RunResult run = world.run();
-
-    result.live = run.trace.live(spec.rounds);
-    result.rounds_completed = run.trace.complete_rounds();
-    result.messages = run.messages;
-    result.events = run.events;
-    result.sign_ops = run.sign_ops;
-    result.verify_ops = run.verify_ops;
-    result.signatures_carried = run.signatures_carried;
-    result.violations = run.violations.size();
-
-    if (result.rounds_completed > 0) {
-      result.max_skew = run.trace.max_skew();
-      result.min_period = run.trace.min_period();
-      result.max_period = run.trace.max_period();
-      util::Samples steady;
-      const auto skews = run.trace.skews();
-      for (std::size_t r = spec.warmup; r < skews.size(); ++r)
-        steady.add(skews[r]);
-      if (!steady.empty()) {
-        result.steady_skew = steady.max();
-        result.skew_p50 = steady.median();
-        result.skew_p99 = steady.quantile(0.99);
-      }
-      result.within_bound =
-          result.max_skew <= result.predicted_skew + options.bound_tolerance;
-    }
+    if (result.rounds_completed > 0 && std::isfinite(result.max_skew) &&
+        std::isfinite(result.predicted_skew) && result.predicted_skew > 0.0)
+      result.skew_ratio = result.max_skew / result.predicted_skew;
   } catch (const std::exception& e) {
     result.error = e.what();
   } catch (...) {
@@ -141,6 +271,20 @@ SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
   return report;
+}
+
+std::size_t count_gate_violations(const SweepReport& report,
+                                  double max_ratio) {
+  std::size_t count = 0;
+  for (const auto& r : report.results) {
+    if (!r.error.empty() || !r.feasible || r.rounds_completed == 0) continue;
+    if (r.spec.world == WorldKind::kTheorem5) {
+      if (!r.within_bound) ++count;
+    } else if (std::isfinite(r.skew_ratio) && r.skew_ratio > max_ratio) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 std::vector<ProtocolSummary> SweepReport::by_protocol() const {

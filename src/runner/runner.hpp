@@ -40,10 +40,22 @@ struct ScenarioResult {
   double skew_p99 = 0.0;
   double min_period = 0.0;
   double max_period = 0.0;
-  /// Theoretical skew bound for this protocol/model (S, S_lw, or d-scale).
+  /// The world's applicable theoretical bound: the protocol's skew upper
+  /// bound (S, S_lw, or d-scale) for kComplete, the same bound computed from
+  /// the effective (d_eff, u_eff) for kRelay, and the 2ũ/3 skew LOWER bound
+  /// for kTheorem5.
   double predicted_skew = 0.0;
-  /// max_skew <= predicted_skew (+tolerance). Only meaningful within the
-  /// protocol's resilience; recorded regardless.
+  /// max_skew / predicted_skew. For upper-bound worlds ≤ 1 means conformant;
+  /// for kTheorem5 ≥ 1 means the construction realized the bound.
+  double skew_ratio = 0.0;
+  /// Effective complete-graph model the relay overlay presented to the
+  /// protocol (NaN for other worlds).
+  double d_eff = 0.0;
+  double u_eff = 0.0;
+  std::uint32_t worst_hops = 0;  ///< relay D_f (0 elsewhere)
+  /// kComplete/kRelay: max_skew <= predicted_skew (+tolerance).
+  /// kTheorem5: the realized skew reached the lower bound (bound_holds).
+  /// Only meaningful within the protocol's resilience; recorded regardless.
   bool within_bound = false;
   std::uint64_t messages = 0;
   std::uint64_t events = 0;
@@ -86,5 +98,13 @@ struct SweepReport {
 /// Run every spec, farming scenarios out to `options.threads` workers.
 [[nodiscard]] SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
                                     const RunnerOptions& options = {});
+
+/// Regression-gate predicate: counts feasible, completed scenarios whose
+/// realized-vs-bound ratio is out of spec — skew_ratio > max_ratio for
+/// upper-bound worlds, bound not realized (within_bound == false) for
+/// kTheorem5. Errored/infeasible rows are not the gate's business (the
+/// error-count gate covers those).
+[[nodiscard]] std::size_t count_gate_violations(const SweepReport& report,
+                                                double max_ratio);
 
 }  // namespace crusader::runner

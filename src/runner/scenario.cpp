@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <set>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -23,6 +24,76 @@ std::uint64_t fold(std::uint64_t h, double value) noexcept {
 
 }  // namespace
 
+const char* to_string(WorldKind kind) {
+  switch (kind) {
+    case WorldKind::kComplete: return "complete";
+    case WorldKind::kRelay: return "relay";
+    case WorldKind::kTheorem5: return "theorem5";
+  }
+  return "?";
+}
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kRandomConnected: return "random";
+  }
+  return "?";
+}
+
+std::optional<WorldKind> parse_world(std::string_view s) {
+  if (s == "complete" || s == "flat") return WorldKind::kComplete;
+  if (s == "relay" || s == "sparse") return WorldKind::kRelay;
+  if (s == "theorem5" || s == "thm5" || s == "lower-bound")
+    return WorldKind::kTheorem5;
+  return std::nullopt;
+}
+
+std::optional<TopologyKind> parse_topology(std::string_view s) {
+  if (s == "complete") return TopologyKind::kComplete;
+  if (s == "ring") return TopologyKind::kRing;
+  if (s == "hypercube") return TopologyKind::kHypercube;
+  if (s == "random") return TopologyKind::kRandomConnected;
+  return std::nullopt;
+}
+
+std::optional<baselines::ProtocolKind> parse_protocol(std::string_view s) {
+  if (s == "cps" || s == "CPS") return baselines::ProtocolKind::kCps;
+  if (s == "lw" || s == "lynch-welch")
+    return baselines::ProtocolKind::kLynchWelch;
+  if (s == "st" || s == "srikanth-toueg")
+    return baselines::ProtocolKind::kSrikanthToueg;
+  return std::nullopt;
+}
+
+std::optional<sim::DelayKind> parse_delay_kind(std::string_view s) {
+  if (s == "max") return sim::DelayKind::kMax;
+  if (s == "min") return sim::DelayKind::kMin;
+  if (s == "random") return sim::DelayKind::kRandom;
+  if (s == "split") return sim::DelayKind::kSplit;
+  return std::nullopt;
+}
+
+std::optional<sim::ClockKind> parse_clock_kind(std::string_view s) {
+  if (s == "nominal") return sim::ClockKind::kNominal;
+  if (s == "spread") return sim::ClockKind::kSpread;
+  if (s == "random-walk" || s == "walk") return sim::ClockKind::kRandomWalk;
+  return std::nullopt;  // kCustom needs a clock vector, not a flag
+}
+
+std::optional<core::ByzStrategy> parse_byz_strategy(std::string_view s) {
+  if (s == "crash") return core::ByzStrategy::kCrash;
+  if (s == "echo-rush") return core::ByzStrategy::kEchoRush;
+  if (s == "split") return core::ByzStrategy::kSplit;
+  if (s == "pull-early") return core::ByzStrategy::kPullEarly;
+  if (s == "pull-late") return core::ByzStrategy::kPullLate;
+  if (s == "replay") return core::ByzStrategy::kReplay;
+  if (s == "random") return core::ByzStrategy::kRandom;
+  return std::nullopt;
+}
+
 sim::ModelParams ScenarioSpec::model() const {
   sim::ModelParams m;
   m.n = n;
@@ -36,15 +107,21 @@ sim::ModelParams ScenarioSpec::model() const {
 
 std::string ScenarioSpec::name() const {
   std::ostringstream os;
+  if (world == WorldKind::kRelay)
+    os << "relay[" << to_string(topology) << "] ";
+  else if (world == WorldKind::kTheorem5)
+    os << "thm5 ";
   os << baselines::to_string(protocol) << " n=" << n << " f=" << f;
   if (f_actual != f) os << " f_actual=" << f_actual;
   os << " vt=" << vartheta << " u=" << u;
   if (u_tilde != u) os << " ut=" << u_tilde;
   if (d != 1.0) os << " d=" << d;
-  os << " delay=" << sim::to_string(delay);
-  if (clocks != sim::ClockKind::kSpread)
-    os << " clocks=" << sim::to_string(clocks);
-  if (f_actual > 0) {
+  if (world != WorldKind::kTheorem5) {
+    os << " delay=" << sim::to_string(delay);
+    if (clocks != sim::ClockKind::kSpread)
+      os << " clocks=" << sim::to_string(clocks);
+  }
+  if (f_actual > 0 && world == WorldKind::kComplete) {
     os << " byz=" << (st_accelerator ? "st-accel" : core::to_string(strategy));
     if (late_shift != 0.0) os << " late=" << late_shift;
     if (split_shift != 0.0) os << " shift=" << split_shift;
@@ -54,6 +131,8 @@ std::string ScenarioSpec::name() const {
 
 std::uint64_t ScenarioSpec::key() const noexcept {
   std::uint64_t h = 0x435053u;  // "CPS"
+  h = fold(h, static_cast<std::uint64_t>(world));
+  h = fold(h, static_cast<std::uint64_t>(topology));
   h = fold(h, static_cast<std::uint64_t>(protocol));
   h = fold(h, static_cast<std::uint64_t>(n));
   h = fold(h, static_cast<std::uint64_t>(f));
@@ -81,47 +160,113 @@ std::uint32_t max_resilience(baselines::ProtocolKind protocol,
              : sim::ModelParams::max_faults_signed(n);
 }
 
+std::uint32_t max_topology_faults(TopologyKind kind,
+                                  std::uint32_t n) noexcept {
+  switch (kind) {
+    case TopologyKind::kRing:
+      return n >= 3 ? 1u : 0u;  // a ring is 2-connected (n = 3 is a triangle)
+    case TopologyKind::kHypercube: {
+      // Connectivity of a k-cube is k = log2(n); survives k − 1 faults.
+      std::uint32_t dim = 0;
+      while ((1u << (dim + 1)) <= n) ++dim;
+      return dim > 0 ? dim - 1 : 0u;
+    }
+    case TopologyKind::kComplete:
+    case TopologyKind::kRandomConnected:
+      return n >= 2 ? n - 2 : 0u;  // only the trivial f + 2 ≤ n cap
+  }
+  return 0;
+}
+
 std::vector<ScenarioSpec> SweepGrid::expand() const {
   std::vector<ScenarioSpec> specs;
-  for (const auto protocol : protocols) {
-    for (const auto n : ns) {
-      // Resolve fault loads up front and dedupe: kMaxResilience can collapse
-      // onto an explicit count (e.g. LW at n = 3 has max resilience 0), and
-      // duplicate specs would run — and report — the same world twice.
-      std::vector<std::uint32_t> fault_counts;
-      for (const auto load : fault_loads) {
-        const std::uint32_t faults =
-            load == kMaxResilience ? max_resilience(protocol, n)
-                                   : static_cast<std::uint32_t>(load);
-        if (std::find(fault_counts.begin(), fault_counts.end(), faults) ==
-            fault_counts.end())
-          fault_counts.push_back(faults);
-      }
-      for (const std::uint32_t faults : fault_counts) {
-        for (const double vartheta : varthetas) {
-          for (const double u : us) {
-            for (const auto delay : delays) {
-              ScenarioSpec spec;
-              spec.protocol = protocol;
-              spec.n = n;
-              spec.f = faults;
-              spec.f_actual = faults;
-              spec.d = d;
-              spec.u = u;
-              spec.u_tilde = u;
-              spec.vartheta = vartheta;
-              spec.delay = delay;
-              spec.clocks = clocks;
-              spec.rounds = rounds;
-              spec.warmup = warmup;
-              spec.slack = slack;
-              if (faults == 0) {
-                specs.push_back(spec);  // strategy axis is irrelevant
-                continue;
-              }
-              for (const auto strategy : strategies) {
-                spec.strategy = strategy;
-                specs.push_back(spec);
+  std::set<std::uint64_t> seen;
+  // Collapsed axes (see header) can alias: dedupe by digest so the sweep
+  // never runs — and reports — the same world twice.
+  auto push = [&](const ScenarioSpec& spec) {
+    if (seen.insert(spec.key()).second) specs.push_back(spec);
+  };
+  // The ũ axis tracks u when not given explicitly; a sentinel NaN-free copy
+  // keeps the loop below uniform.
+  const std::vector<double> ut_axis =
+      u_tildes.empty() ? std::vector<double>{-1.0} : u_tildes;
+
+  for (const auto world : worlds) {
+    const bool relay = world == WorldKind::kRelay;
+    const bool thm5 = world == WorldKind::kTheorem5;
+    // kTheorem5 pins the construction shape regardless of the n axis.
+    const std::vector<std::uint32_t> world_ns =
+        thm5 ? std::vector<std::uint32_t>{3} : ns;
+    const std::vector<sim::DelayKind> world_delays =
+        thm5 ? std::vector<sim::DelayKind>{sim::DelayKind::kRandom} : delays;
+    const std::vector<sim::ClockKind> world_clocks =
+        thm5 ? std::vector<sim::ClockKind>{sim::ClockKind::kSpread}
+             : clock_kinds;
+    const std::vector<TopologyKind> world_topologies =
+        relay ? topologies : std::vector<TopologyKind>{TopologyKind::kComplete};
+    // Relay worlds have no faulty links — effective_model derives its own
+    // ũ_eff = u_eff — so the ũ axis collapses to "track u" there; multiplying
+    // it would reseed identical worlds and read as a fake ũ effect.
+    const std::vector<double> world_uts =
+        relay ? std::vector<double>{-1.0} : ut_axis;
+
+    for (const auto protocol : protocols) {
+      for (const auto n : world_ns) {
+        for (const auto topology : world_topologies) {
+          // Resolve fault loads up front and dedupe: kMaxResilience can
+          // collapse onto an explicit count (e.g. LW at n = 3 has max
+          // resilience 0). Relay worlds additionally cap resilience at what
+          // the topology's connectivity supports.
+          std::vector<std::uint32_t> fault_counts;
+          for (const auto load : fault_loads) {
+            std::uint32_t faults =
+                load == kMaxResilience ? max_resilience(protocol, n)
+                                       : static_cast<std::uint32_t>(load);
+            if (relay && load == kMaxResilience)
+              faults = std::min(faults, max_topology_faults(topology, n));
+            if (thm5) faults = 1;  // the construction's single faulty node
+            if (std::find(fault_counts.begin(), fault_counts.end(), faults) ==
+                fault_counts.end())
+              fault_counts.push_back(faults);
+          }
+          for (const std::uint32_t faults : fault_counts) {
+            for (const double vartheta : varthetas) {
+              for (const double u : us) {
+                for (const double ut : world_uts) {
+                  for (const auto delay : world_delays) {
+                    for (const auto clock : world_clocks) {
+                      ScenarioSpec spec;
+                      spec.world = world;
+                      spec.topology = topology;
+                      spec.protocol = protocol;
+                      spec.n = n;
+                      spec.f = faults;
+                      // Theorem-5 realizes its own faulty node; relay crashes
+                      // f relays; complete instantiates f Byzantine nodes.
+                      spec.f_actual = thm5 ? 0 : faults;
+                      spec.d = d;
+                      spec.u = u;
+                      // Clamp ũ into the model's [u, d] requirement so an
+                      // explicit ũ axis composes with any u axis.
+                      spec.u_tilde =
+                          ut < 0.0 ? u : std::min(std::max(ut, u), d);
+                      spec.vartheta = vartheta;
+                      spec.delay = delay;
+                      spec.clocks = clock;
+                      spec.rounds = rounds;
+                      spec.warmup = warmup;
+                      spec.slack = slack;
+                      if (faults == 0 || relay || thm5) {
+                        push(spec);  // strategy axis is irrelevant
+                        continue;
+                      }
+                      for (const auto strategy : strategies) {
+                        spec.strategy = strategy;
+                        push(spec);
+                      }
+                    }
+                  }
+                }
               }
             }
           }

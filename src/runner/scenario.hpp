@@ -1,12 +1,15 @@
 #pragma once
 // Declarative scenario descriptions for parameter sweeps: one ScenarioSpec
-// fully determines a world (protocol × model × adversary × schedule), and a
-// SweepGrid expands axis lists into the cross-product of specs in a fixed,
-// documented order so that sweep output is stable across runs and machines.
+// fully determines a world (world kind × protocol × model × adversary ×
+// schedule), and a SweepGrid expands axis lists into the cross-product of
+// specs in a fixed, documented order so that sweep output is stable across
+// runs and machines.
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/factories.hpp"
@@ -17,30 +20,74 @@
 
 namespace crusader::runner {
 
+/// Which simulation world executes a scenario.
+///  * kComplete — the standard fully-connected World (PR-2 behaviour).
+///  * kRelay — the Appendix-A sparse-network translation: the protocol runs
+///    over a (f+1)-connected topology via path-balanced flooding, with
+///    spec.d / spec.u reinterpreted as the per-hop d_hop / u_hop and the
+///    protocol configured with the effective (d_eff, u_eff).
+///  * kTheorem5 — the Theorem-5 lower-bound construction (three-execution
+///    adversary, n = 3); spec.u_tilde is the ũ the adversary exploits and
+///    spec.rounds is the construction's target round count.
+enum class WorldKind { kComplete, kRelay, kTheorem5 };
+
+/// Topology family for WorldKind::kRelay.
+enum class TopologyKind { kComplete, kRing, kHypercube, kRandomConnected };
+
+[[nodiscard]] const char* to_string(WorldKind kind);
+[[nodiscard]] const char* to_string(TopologyKind kind);
+
+// CLI-facing parsers (shared by sweep_cli and the tests that assert every
+// enumerator stays reachable from the command line). Each accepts exactly the
+// to_string spellings plus documented aliases; unknown strings yield nullopt.
+[[nodiscard]] std::optional<WorldKind> parse_world(std::string_view s);
+[[nodiscard]] std::optional<TopologyKind> parse_topology(std::string_view s);
+[[nodiscard]] std::optional<baselines::ProtocolKind> parse_protocol(
+    std::string_view s);
+[[nodiscard]] std::optional<sim::DelayKind> parse_delay_kind(
+    std::string_view s);
+/// ClockKind::kCustom is intentionally not parseable: it requires a
+/// caller-supplied clock vector that cannot come from a flag.
+[[nodiscard]] std::optional<sim::ClockKind> parse_clock_kind(
+    std::string_view s);
+[[nodiscard]] std::optional<core::ByzStrategy> parse_byz_strategy(
+    std::string_view s);
+
 /// One fully-specified simulation scenario. Everything influencing the run is
 /// in here (plus the sweep's base seed) — two equal specs produce bitwise
 /// identical results.
 struct ScenarioSpec {
+  WorldKind world = WorldKind::kComplete;
   baselines::ProtocolKind protocol = baselines::ProtocolKind::kCps;
   std::uint32_t n = 4;
   /// Fault tolerance the protocol is parameterized for (model.f).
   std::uint32_t f = 0;
   /// Byzantine nodes actually instantiated (usually == f; benches that probe
-  /// beyond-resilience behavior set f_actual > f).
+  /// beyond-resilience behavior set f_actual > f). Relay worlds crash these
+  /// nodes (they neither relay nor speak); kTheorem5 ignores it — the
+  /// construction itself realizes the faulty node.
   std::uint32_t f_actual = 0;
+  /// End-to-end delay bound; per-hop d_hop when world == kRelay.
   double d = 1.0;
+  /// Delay uncertainty; per-hop u_hop when world == kRelay.
   double u = 0.05;
+  /// Faulty-link uncertainty ũ ∈ [u, d]; the construction's ũ for kTheorem5.
   double u_tilde = 0.05;
   double vartheta = 1.01;
+  /// Relay-only: topology family the flood overlay runs on. kHypercube
+  /// requires n to be a power of two; kRandomConnected draws a minimal
+  /// (f+1)-connected graph from the scenario's seed.
+  TopologyKind topology = TopologyKind::kComplete;
   sim::DelayKind delay = sim::DelayKind::kRandom;
   sim::ClockKind clocks = sim::ClockKind::kSpread;
-  /// Byzantine behavior; only consulted when f_actual > 0.
+  /// Byzantine behavior; only consulted when f_actual > 0 (kComplete only).
   core::ByzStrategy strategy = core::ByzStrategy::kCrash;
   /// When true (and f_actual > 0), runs the ST certificate-acceleration
   /// attack (all faulty nodes target node n-1) instead of `strategy`.
   bool st_accelerator = false;
   double late_shift = 0.0;
   double split_shift = 0.0;
+  /// Pulse rounds to run; the target_rounds of the kTheorem5 construction.
   std::size_t rounds = 20;
   /// Rounds skipped before steady-state metrics.
   std::size_t warmup = 5;
@@ -50,7 +97,8 @@ struct ScenarioSpec {
   [[nodiscard]] sim::ModelParams model() const;
 
   /// Human-readable id, e.g. "CPS n=7 f=3 vt=1.01 u=0.05 delay=random
-  /// byz=split". Unique per distinct spec in practice; used as the CSV key.
+  /// byz=split" or "relay[hypercube] CPS n=8 ...". Unique per distinct spec
+  /// in practice; used as the CSV key.
   [[nodiscard]] std::string name() const;
 
   /// Stable 64-bit digest of every axis. Used to derive the per-scenario RNG
@@ -60,23 +108,37 @@ struct ScenarioSpec {
 };
 
 /// Axis lists expanded into the cross product of ScenarioSpecs. Expansion
-/// order (outer to inner): protocol, n, fault load, vartheta, u, delay,
-/// strategy. Fault-free grid points ignore the strategy axis (one spec, not
-/// one per strategy).
+/// order (outer to inner): world, protocol, n, fault load, vartheta, u,
+/// u_tilde, delay, clocks, topology, strategy. Axes that a world cannot
+/// express collapse to one spec instead of multiplying:
+///  * fault-free grid points ignore the strategy axis;
+///  * kComplete ignores the topology axis;
+///  * kRelay ignores the strategy axis (faulty relays always crash) and the
+///    ũ axis (the overlay has no faulty links; ũ_eff tracks u_eff);
+///  * kTheorem5 pins n = 3, f = 1 and ignores the fault, delay, clocks,
+///    topology, and strategy axes (the construction owns all of those).
+/// Collapsed duplicates are deduplicated by spec digest.
 struct SweepGrid {
+  std::vector<WorldKind> worlds{WorldKind::kComplete};
   std::vector<baselines::ProtocolKind> protocols{
       baselines::ProtocolKind::kCps};
   std::vector<std::uint32_t> ns{4};
   /// Faulty-node counts. kMaxResilience means "this protocol's optimal
   /// resilience at this n": ⌈n/2⌉−1 for CPS and Srikanth–Toueg, ⌈n/3⌉−1 for
-  /// Lynch–Welch.
+  /// Lynch–Welch — additionally capped by the topology's connectivity for
+  /// relay worlds (a ring can never survive two faults).
   std::vector<std::int64_t> fault_loads{0};
   std::vector<double> varthetas{1.01};
   std::vector<double> us{0.05};
+  /// ũ axis. Empty means "track u" (ũ = u at every grid point, the PR-2
+  /// behaviour); explicit values are clamped up to the cell's u so every
+  /// expanded spec satisfies the model's ũ ∈ [u, d] requirement.
+  std::vector<double> u_tildes{};
   std::vector<sim::DelayKind> delays{sim::DelayKind::kRandom};
+  std::vector<sim::ClockKind> clock_kinds{sim::ClockKind::kSpread};
+  std::vector<TopologyKind> topologies{TopologyKind::kComplete};
   std::vector<core::ByzStrategy> strategies{core::ByzStrategy::kCrash};
   double d = 1.0;
-  sim::ClockKind clocks = sim::ClockKind::kSpread;
   std::size_t rounds = 20;
   std::size_t warmup = 5;
   double slack = 1.0;
@@ -90,5 +152,12 @@ struct SweepGrid {
 /// bound for LW).
 [[nodiscard]] std::uint32_t max_resilience(baselines::ProtocolKind protocol,
                                            std::uint32_t n) noexcept;
+
+/// Largest f a relay world on this topology family can be asked to survive:
+/// connectivity − 1 (1 for a ring, log2(n) − 1 for a hypercube, n − 2 for
+/// complete/random — random graphs are grown until (f+1)-connected, so only
+/// the trivial cap applies).
+[[nodiscard]] std::uint32_t max_topology_faults(TopologyKind kind,
+                                                std::uint32_t n) noexcept;
 
 }  // namespace crusader::runner

@@ -28,6 +28,12 @@ struct ModelParams {
     return (n + 2) / 3 - 1;
   }
 
+  /// 2ũ/3: the Theorem-5 lower bound on the worst-case skew any pulse
+  /// protocol can guarantee in this model (tight — CPS matches it).
+  [[nodiscard]] double theorem5_bound() const noexcept {
+    return 2.0 * u_tilde / 3.0;
+  }
+
   void validate() const {
     CS_CHECK_MSG(n >= 2, "need at least two nodes");
     CS_CHECK_MSG(f < n, "f must be < n");

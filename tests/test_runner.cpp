@@ -190,7 +190,190 @@ TEST(Export, CsvHasHeaderAndOneRowPerScenario) {
   for (const char c : csv)
     if (c == '\n') ++lines;
   EXPECT_EQ(lines, specs.size() + 1);
-  EXPECT_EQ(csv.rfind("scenario,protocol,n,f,", 0), 0u);
+  EXPECT_EQ(csv.rfind("scenario,protocol,world,topology,n,f,", 0), 0u);
+}
+
+TEST(Scenario, KeyForksDistinctSeedsForNewAxes) {
+  // Two specs differing ONLY in a new axis must digest — and therefore
+  // seed — differently, or inserting a world/topology/ũ axis would silently
+  // reuse another scenario's randomness.
+  ScenarioSpec base;
+  ScenarioSpec other = base;
+  other.world = WorldKind::kRelay;
+  EXPECT_NE(base.key(), other.key());
+  EXPECT_NE(scenario_seed(base, 1), scenario_seed(other, 1));
+
+  ScenarioSpec ring = base;
+  ring.world = WorldKind::kRelay;
+  ScenarioSpec cube = ring;
+  cube.topology = TopologyKind::kHypercube;
+  EXPECT_NE(ring.key(), cube.key());
+  EXPECT_NE(scenario_seed(ring, 1), scenario_seed(cube, 1));
+
+  ScenarioSpec ut = base;
+  ut.u_tilde = base.u_tilde + 0.1;
+  EXPECT_NE(base.key(), ut.key());
+  EXPECT_NE(scenario_seed(base, 1), scenario_seed(ut, 1));
+
+  ScenarioSpec clocks = base;
+  clocks.clocks = sim::ClockKind::kRandomWalk;
+  EXPECT_NE(base.key(), clocks.key());
+}
+
+TEST(Scenario, UtildeIsAFirstClassGridAxis) {
+  auto grid = small_grid();
+  grid.fault_loads = {0};
+  grid.u_tildes = {0.1, 0.2};
+  const auto specs = grid.expand();
+  // 2 protocols × 2 n × 1 fault × 2 ũ.
+  ASSERT_EQ(specs.size(), 8u);
+  std::set<double> uts;
+  for (const auto& spec : specs) {
+    EXPECT_GE(spec.u_tilde, spec.u);  // clamped into the model's [u, d]
+    uts.insert(spec.u_tilde);
+  }
+  EXPECT_EQ(uts.size(), 2u);
+
+  // An ũ below every u in the grid clamps onto u — and the clamped
+  // duplicate of the tracking default dedupes against itself, not others.
+  grid.u_tildes = {1e-6, 0.2};
+  const auto clamped = grid.expand();
+  for (const auto& spec : clamped) EXPECT_GE(spec.u_tilde, spec.u);
+}
+
+// Minimal CSV reader for round-trip checks: honors RFC-4180-style quoting as
+// produced by the exporter.
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+TEST(Export, CsvRoundTripsForEveryWorldKind) {
+  std::vector<ScenarioSpec> specs(3);
+  specs[0].world = WorldKind::kComplete;
+  specs[1].world = WorldKind::kRelay;
+  specs[1].topology = TopologyKind::kRing;
+  specs[1].n = 6;
+  specs[1].u = 0.02;
+  specs[1].u_tilde = 0.02;
+  specs[1].vartheta = 1.002;
+  specs[2].world = WorldKind::kTheorem5;
+  specs[2].n = 3;
+  specs[2].f = 1;
+  specs[2].u_tilde = 0.2;
+  specs[2].vartheta = 1.05;
+  specs[2].rounds = 30;
+  for (auto& spec : specs) {
+    if (spec.rounds == 20) spec.rounds = 5;
+    spec.warmup = 1;
+  }
+
+  const auto report = run_sweep(specs, {});
+  std::istringstream csv(to_csv(report));
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  const auto header = parse_csv_line(line);
+  const auto column = [&](const std::string& name) {
+    for (std::size_t i = 0; i < header.size(); ++i)
+      if (header[i] == name) return i;
+    ADD_FAILURE() << "missing CSV column " << name;
+    return std::size_t{0};
+  };
+  const std::size_t world_col = column("world");
+  const std::size_t topo_col = column("topology");
+  const std::size_t ut_col = column("u_tilde");
+  const std::size_t bound_col = column("predicted_skew");
+  const std::size_t ratio_col = column("skew_ratio");
+
+  std::size_t rows = 0;
+  while (std::getline(csv, line)) {
+    const auto& spec = specs.at(rows);
+    const auto& result = report.results.at(rows);
+    SCOPED_TRACE(spec.name());
+    ASSERT_TRUE(result.error.empty()) << result.error;
+    const auto row = parse_csv_line(line);
+    ASSERT_EQ(row.size(), header.size());
+    EXPECT_EQ(row[world_col], to_string(spec.world));
+    EXPECT_EQ(row[topo_col], spec.world == WorldKind::kRelay
+                                 ? to_string(spec.topology)
+                                 : "-");
+    EXPECT_EQ(std::stod(row[ut_col]), spec.u_tilde);
+    // Every world exports its applicable bound and realized/bound ratio.
+    EXPECT_EQ(std::stod(row[bound_col]), result.predicted_skew);
+    EXPECT_EQ(std::stod(row[ratio_col]), result.skew_ratio);
+    ++rows;
+  }
+  EXPECT_EQ(rows, specs.size());
+}
+
+TEST(Cli, EveryEnumeratorReachableFromFlags) {
+  // Regression for the ROADMAP gap: the shared CLI parsers must round-trip
+  // every enumerator of every axis (ClockKind::kCustom excepted — it needs
+  // a caller-built clock vector no flag can express).
+  for (const auto kind : {sim::DelayKind::kMax, sim::DelayKind::kMin,
+                          sim::DelayKind::kRandom, sim::DelayKind::kSplit}) {
+    const auto parsed = parse_delay_kind(sim::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << sim::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (const auto kind : {sim::ClockKind::kNominal, sim::ClockKind::kSpread,
+                          sim::ClockKind::kRandomWalk}) {
+    const auto parsed = parse_clock_kind(sim::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << sim::to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_clock_kind("custom").has_value());
+  for (const auto kind :
+       {WorldKind::kComplete, WorldKind::kRelay, WorldKind::kTheorem5}) {
+    const auto parsed = parse_world(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (const auto kind :
+       {TopologyKind::kComplete, TopologyKind::kRing, TopologyKind::kHypercube,
+        TopologyKind::kRandomConnected}) {
+    const auto parsed = parse_topology(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (const auto kind :
+       {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kLynchWelch,
+        baselines::ProtocolKind::kSrikanthToueg}) {
+    bool found = false;
+    for (const auto alias : {"cps", "lw", "st"}) {
+      const auto parsed = parse_protocol(alias);
+      if (parsed && *parsed == kind) found = true;
+    }
+    EXPECT_TRUE(found) << baselines::to_string(kind);
+  }
+  for (const auto strategy : core::all_byz_strategies()) {
+    const auto parsed = parse_byz_strategy(core::to_string(strategy));
+    ASSERT_TRUE(parsed.has_value()) << core::to_string(strategy);
+    EXPECT_EQ(*parsed, strategy);
+  }
 }
 
 TEST(Export, JsonWellFormedEnough) {
