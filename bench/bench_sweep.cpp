@@ -2,6 +2,11 @@
 // comparison (CPS vs Lynch–Welch vs Srikanth–Toueg) across n × faults ×
 // delay policies in one declarative grid, plus a thread-scaling measurement
 // of the runner itself.
+//
+// E12 — the flood-overlay hot path under Byzantine relay adversaries: every
+// RelayFaultKind over the four sparse topology families at max fault load,
+// with per-cell wall clock so the perf trajectory of the relay world is
+// tracked alongside its bound conformance.
 
 #include <algorithm>
 #include <chrono>
@@ -11,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "relay/adversary.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 
@@ -76,6 +82,46 @@ int run_bench() {
     if (threads == hw) break;  // avoid duplicate row when hw <= 2
   }
   bench::print(scaling);
+
+  // E12: the relay world's flood overlay under Byzantine relay adversaries.
+  runner::SweepGrid relay_grid;
+  relay_grid.worlds = {runner::WorldKind::kRelay};
+  relay_grid.protocols = {baselines::ProtocolKind::kCps};
+  relay_grid.ns = {8};
+  relay_grid.fault_loads = {runner::SweepGrid::kMaxResilience};
+  relay_grid.topologies = {
+      runner::TopologyKind::kRing, runner::TopologyKind::kChordalRing,
+      runner::TopologyKind::kRingOfCliques, runner::TopologyKind::kHypercube};
+  relay_grid.relay_faults = {
+      relay::RelayFaultKind::kCrash, relay::RelayFaultKind::kMaxDelay,
+      relay::RelayFaultKind::kReorder, relay::RelayFaultKind::kSelectiveDrop};
+  relay_grid.us = {0.01};
+  relay_grid.varthetas = {1.001};
+  relay_grid.rounds = 16;
+  relay_grid.warmup = 4;
+  const auto relay_specs = relay_grid.expand();
+
+  util::Table relay_table(
+      "E12: Byzantine relay adversaries — flood overlay hot path (" +
+      std::to_string(relay_specs.size()) +
+      " cells: fault kind x topology at max fault load, n=8)");
+  relay_table.set_header({"scenario", "steady skew", "bound", "ratio", "ok",
+                         "physical msgs", "seconds"});
+  for (const auto& spec : relay_specs) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto r = runner::run_scenario(spec, {});
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    relay_table.add_row(
+        {spec.name(),
+         r.rounds_completed ? util::Table::num(r.steady_skew, 4) : "-",
+         r.feasible ? util::Table::num(r.predicted_skew, 4) : "-",
+         r.rounds_completed ? util::Table::num(r.skew_ratio, 3) : "-",
+         r.rounds_completed ? (r.within_bound ? "yes" : "no") : "-",
+         std::to_string(r.messages), util::Table::num(secs, 3)});
+  }
+  bench::print(relay_table);
   return 0;
 }
 

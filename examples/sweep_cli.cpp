@@ -21,8 +21,11 @@
 //   --u=0.05                   delay uncertainties (per-hop u_hop for relay)
 //   --u-tilde=0.1,0.2          faulty-link uncertainties ũ (default: ũ = u);
 //                              the Theorem-5 construction's ũ
-//   --topology=ring,hypercube  relay topology families
-//                              (complete|ring|hypercube|random)
+//   --topology=ring,hypercube  relay topology families (complete|ring|
+//                              chordal-ring|ring-of-cliques|hypercube|random)
+//   --relay-fault=crash,reorder  faulty-relay behaviors for relay worlds
+//                              (crash|max-delay|reorder|selective-drop);
+//                              only multiplies faulty relay grid points
 //   --delays=random,split      delay policies (max|min|random|split)
 //   --clocks=spread,random-walk  clock assignments (nominal|spread|random-walk)
 //   --byz=crash,split          Byzantine strategies (only for faults > 0);
@@ -190,6 +193,18 @@ int main(int argc, char** argv) {
           if (!t) return fail("unknown topology '" + s + "'");
           grid.topologies.push_back(*t);
         }
+      } else if (key == "relay-fault" || key == "relay_fault") {
+        grid.relay_faults.clear();
+        for (const auto& s : split(value)) {
+          const auto rf = runner::parse_relay_fault(s);
+          if (!rf) return fail("unknown relay fault '" + s + "'");
+          grid.relay_faults.push_back(*rf);
+        }
+        // An empty list would silently drop every faulty relay grid point
+        // (expand() pushes nothing for them) and let a --gate pass
+        // vacuously; fail loudly instead.
+        if (grid.relay_faults.empty())
+          return fail("--relay-fault needs at least one value");
       } else if (key == "delays") {
         grid.delays.clear();
         for (const auto& s : split(value)) {

@@ -1,0 +1,87 @@
+#include "relay/adversary.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace crusader::relay {
+
+const char* to_string(RelayFaultKind kind) {
+  switch (kind) {
+    case RelayFaultKind::kCrash: return "crash";
+    case RelayFaultKind::kMaxDelay: return "max-delay";
+    case RelayFaultKind::kReorder: return "reorder";
+    case RelayFaultKind::kSelectiveDrop: return "selective-drop";
+  }
+  return "?";
+}
+
+RelayAdversary::RelayAdversary(RelayFaultKind kind, const Topology& topology,
+                               std::vector<bool> faulty, std::uint64_t seed)
+    : kind_(kind), faulty_(std::move(faulty)), seed_(seed) {
+  CS_CHECK(faulty_.size() == topology.n());
+  if (kind_ != RelayFaultKind::kSelectiveDrop) return;
+
+  // Fix each faulty relay's served subset up front: a seed-chosen ⌈deg/2⌉
+  // of its neighbors. Per-relay forks keep the choice independent of how
+  // many relays are faulty.
+  allow_.resize(topology.n());
+  util::Rng rng(seed_ ^ 0x5e1d70bULL);
+  for (NodeId v = 0; v < topology.n(); ++v) {
+    if (!faulty_[v]) continue;
+    std::vector<NodeId> order = topology.neighbors(v);
+    util::Rng node_rng = rng.fork(v);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[node_rng.below(i)]);
+    const std::size_t keep = (order.size() + 1) / 2;
+    allow_[v].assign(topology.n(), false);
+    for (std::size_t i = 0; i < keep; ++i) allow_[v][order[i]] = true;
+  }
+}
+
+bool RelayAdversary::participates(NodeId v) const {
+  CS_CHECK(v < faulty_.size());
+  return !faulty_[v] || kind_ != RelayFaultKind::kCrash;
+}
+
+bool RelayAdversary::forwards(NodeId at, NodeId next) const {
+  CS_CHECK(at < faulty_.size() && next < faulty_.size());
+  if (!faulty_[at]) return true;
+  switch (kind_) {
+    case RelayFaultKind::kCrash: return false;
+    case RelayFaultKind::kSelectiveDrop: return allow_[at][next];
+    case RelayFaultKind::kMaxDelay:
+    case RelayFaultKind::kReorder: return true;
+  }
+  return true;
+}
+
+double RelayAdversary::hop_delay(NodeId at, NodeId next,
+                                 std::uint64_t flood_id, double honest_delay,
+                                 double lo, double hi) const {
+  CS_CHECK(at < faulty_.size());
+  if (!faulty_[at]) return honest_delay;
+  switch (kind_) {
+    case RelayFaultKind::kMaxDelay:
+      return hi;
+    case RelayFaultKind::kReorder: {
+      // Pin each copy to one extreme of the legal window by a seed-chosen
+      // parity over (relay, destination, flood): two floods forwarded within
+      // u_hop of each other can swap arrival order at the same destination.
+      const std::uint64_t h =
+          util::mix64(seed_ ^ (static_cast<std::uint64_t>(at) << 40) ^
+                      (static_cast<std::uint64_t>(next) << 20) ^ flood_id);
+      return (h & 1u) != 0 ? hi : lo;
+    }
+    case RelayFaultKind::kCrash:
+    case RelayFaultKind::kSelectiveDrop:
+      return honest_delay;
+  }
+  return honest_delay;
+}
+
+}  // namespace crusader::relay

@@ -1,0 +1,78 @@
+#pragma once
+// Byzantine relay adversaries for the Appendix-A flood overlay.
+//
+// Signatures neutralize equivocation: a faulty relay cannot alter or forge
+// the copies it forwards. What it CAN still do — and what the paper's
+// translation must survive — is delay, reorder, or selectively drop them.
+// The per-relay behaviors modeled here:
+//
+//  * kCrash — drop everything (the node neither speaks nor relays). This is
+//    the crash-relay worst case for connectivity the overlay modeled before
+//    this policy existed.
+//  * kMaxDelay — forward every copy at the full per-hop bound d_hop while
+//    honest hops may be faster. Legal (delays stay in [d_hop − u_hop,
+//    d_hop]) but maximally skews path timing against the balancing hold.
+//  * kReorder — permute deliveries inside the legal window: each forwarded
+//    copy is pinned to one extreme of [d_hop − u_hop, d_hop] by a
+//    seed-chosen parity, so copies of later floods overtake earlier ones and
+//    the flood dedupe's implicit FIFO assumptions are stressed.
+//  * kSelectiveDrop — forward to only a seed-chosen half of the neighbors
+//    (⌈deg/2⌉): the connectivity-halving worst case short of crashing. The
+//    surviving graph still contains every path that exists with the relay
+//    deleted outright, so the D_f distance bound continues to hold.
+//
+// Every behavior is within the model: realized skew must therefore stay
+// within the Theorem-17 bound at the effective (d_eff, u_eff) — which is
+// exactly what tests/test_relay_adversary.cpp asserts.
+
+#include <cstdint>
+#include <vector>
+
+#include "relay/topology.hpp"
+#include "util/ids.hpp"
+
+namespace crusader::relay {
+
+/// Per-relay misbehavior of a faulty node in the flood overlay.
+enum class RelayFaultKind { kCrash, kMaxDelay, kReorder, kSelectiveDrop };
+
+[[nodiscard]] const char* to_string(RelayFaultKind kind);
+
+/// Deterministic per-relay fault policy. All choices (selective-drop subsets,
+/// reorder parities) are pure functions of (kind, topology, faulty set,
+/// seed), so relay worlds stay bit-reproducible across threads and runs.
+class RelayAdversary {
+ public:
+  RelayAdversary(RelayFaultKind kind, const Topology& topology,
+                 std::vector<bool> faulty, std::uint64_t seed);
+
+  [[nodiscard]] RelayFaultKind kind() const noexcept { return kind_; }
+
+  /// Whether node v runs its protocol instance and relays at all. Faulty
+  /// nodes participate under every kind except kCrash — a delaying or
+  /// dropping relay still speaks, and its own broadcasts are forwarded
+  /// under the same adversarial policy as everyone else's.
+  [[nodiscard]] bool participates(NodeId v) const;
+
+  /// Whether faulty relay `at` forwards flood copies to neighbor `next`
+  /// (always true for honest nodes; the selective-drop subset is fixed per
+  /// relay, not per flood).
+  [[nodiscard]] bool forwards(NodeId at, NodeId next) const;
+
+  /// Delay the faulty relay `at` imposes on the hop to `next` for flood
+  /// `flood_id`, given the legal window [lo, hi] and the delay the honest
+  /// policy would have chosen. Honest nodes keep `honest_delay`.
+  [[nodiscard]] double hop_delay(NodeId at, NodeId next,
+                                 std::uint64_t flood_id, double honest_delay,
+                                 double lo, double hi) const;
+
+ private:
+  RelayFaultKind kind_;
+  std::vector<bool> faulty_;
+  std::uint64_t seed_;
+  /// kSelectiveDrop only: allow_[v] is an n-wide neighbor mask for each
+  /// faulty v (empty for honest nodes and other kinds).
+  std::vector<std::vector<bool>> allow_;
+};
+
+}  // namespace crusader::relay

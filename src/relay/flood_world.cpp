@@ -4,20 +4,48 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace crusader::relay {
 
-sim::ModelParams effective_model(const RelayConfig& config) {
+RelayEffective compute_effective(const RelayConfig& config) {
   const auto& hop = config.hop_model;
   const std::uint32_t n = config.topology.n();
   CS_CHECK_MSG(hop.n == n, "hop_model.n must match the topology");
-  CS_CHECK_MSG(config.topology.survives_faults(hop.f),
-               "topology is not (f+1)-connected");
-  const std::uint32_t worst = config.topology.worst_case_distance(hop.f);
+  const bool exact = config.topology.worst_case_distance_is_exact(hop.f);
+  if (exact) {
+    // Within the subset budget both checks are exhaustive (exact).
+    CS_CHECK_MSG(config.topology.survives_faults(hop.f),
+                 "topology is not (f+1)-connected");
+  }
+  std::uint32_t worst = config.topology.worst_case_distance(hop.f);
+  if (!exact) {
+    // Beyond the budget the exhaustive checks would enumerate C(n, f)
+    // subsets — the cliff the budget exists to avoid — so both degrade the
+    // same way: the sampled walk estimates the all-fault-sets D_f, and the
+    // configured faulty set is verified exactly here (connectivity AND
+    // distances, one BFS per source), keeping the hold schedule and the
+    // exported bound sound for the adversary this world actually
+    // instantiates.
+    std::vector<bool> excluded(n, false);
+    for (const NodeId v : config.faulty) {
+      CS_CHECK(v < n);
+      excluded[v] = true;
+    }
+    worst =
+        std::max(worst, config.topology.worst_distance_with_faults(excluded));
+    CS_WARN << "relay: C(n=" << n << ", f=" << hop.f
+            << ") exceeds the worst_case_distance subset budget; D_f="
+            << worst
+            << " is exact for the configured faulty set but a sampled lower "
+               "bound over all fault sets";
+  }
 
   sim::ModelParams eff = hop;
   const double hops = static_cast<double>(worst);
@@ -27,7 +55,11 @@ sim::ModelParams effective_model(const RelayConfig& config) {
   eff.u = hops * hop.u + (hop.vartheta - 1.0) * hops * hop.d;
   eff.u_tilde = eff.u;
   eff.validate();  // also enforces d_eff > 2 u_eff
-  return eff;
+  return RelayEffective{eff, worst};
+}
+
+sim::ModelParams effective_model(const RelayConfig& config) {
+  return compute_effective(config).model;
 }
 
 /// Env implementation: physical sends become floods; everything else is the
@@ -102,11 +134,13 @@ class RelayWorld::NodeHost final : public sim::Env {
   std::set<std::uint64_t> seen_;
 };
 
-RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory)
-    : config_(std::move(config)),
-      effective_(effective_model(config_)),
-      worst_hops_(config_.topology.worst_case_distance(config_.hop_model.f)),
-      rng_(config_.seed) {
+RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
+                       std::optional<RelayEffective> effective)
+    : config_(std::move(config)), rng_(config_.seed) {
+  const RelayEffective eff =
+      effective.has_value() ? *effective : compute_effective(config_);
+  effective_ = eff.model;
+  worst_hops_ = eff.worst_hops;
   const std::uint32_t n = config_.topology.n();
   faulty_.assign(n, false);
   for (NodeId v : config_.faulty) {
@@ -115,6 +149,9 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory)
   }
   CS_CHECK_MSG(config_.faulty.size() <= config_.hop_model.f,
                "more faulty nodes than the fault budget");
+  adversary_ = std::make_unique<RelayAdversary>(
+      config_.fault_kind, config_.topology, faulty_,
+      config_.seed ^ 0xada7eULL);
 
   pki_ = std::make_unique<crypto::Pki>(n, config_.pki_kind,
                                        config_.seed ^ 0xf100dULL);
@@ -147,10 +184,13 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory)
   }
 
   for (NodeId v = 0; v < n; ++v) {
-    if (faulty_[v]) {
-      hosts_.push_back(nullptr);  // crash node: no protocol, no relaying
+    if (!adversary_->participates(v)) {
+      hosts_.push_back(nullptr);  // crashed node: no protocol, no relaying
       continue;
     }
+    // Non-crash faulty nodes run the protocol too — their misbehavior lives
+    // entirely in how they forward (and the trace excludes them from the
+    // skew metrics regardless).
     hosts_.push_back(std::make_unique<NodeHost>(v, this, factory(v)));
   }
 }
@@ -164,8 +204,11 @@ void RelayWorld::flood_from(NodeId origin, const sim::Message& m) {
 
 void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
                              std::uint32_t hops, const sim::Message& m) {
-  // `at` just obtained this flood copy after `hops` hops.
-  if (faulty_[at]) return;  // crash relay: drops everything
+  // `at` just obtained this flood copy after `hops` hops. Whether a faulty
+  // node takes part at all is the adversary policy's call (kCrash drops
+  // everything — including the node's own broadcasts, which never start
+  // because crashed nodes have no host).
+  if (hosts_[at] == nullptr) return;
   NodeHost& host = *hosts_[at];
 
   // Destination-side processing with path balancing. The origin never
@@ -195,13 +238,19 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
     }
   }
 
-  // Forward once per flood id.
+  // Forward once per flood id. Faulty relays forward through the adversary
+  // policy: neighbor pruning (selective drop) and delay override (max-delay
+  // holds the full d_hop, reorder pins window extremes) — all still within
+  // the model's legal [d_hop − u_hop, d_hop].
   if (!host.first_sight(flood_id)) return;
+  const bool adversarial = faulty_[at];
   for (NodeId next : config_.topology.neighbors(at)) {
+    if (adversarial && !adversary_->forwards(at, next)) continue;
     const double lo = config_.hop_model.d - config_.hop_model.u;
     const double hi = config_.hop_model.d;
-    const double delay =
-        hop_policy_->delay(at, next, engine_.now(), m, lo, hi, rng_);
+    double delay = hop_policy_->delay(at, next, engine_.now(), m, lo, hi, rng_);
+    if (adversarial)
+      delay = adversary_->hop_delay(at, next, flood_id, delay, lo, hi);
     ++physical_messages_;
     engine_.at(engine_.now() + delay, [this, next, flood_id, hops, m]() {
       hop_deliver(next, flood_id, hops + 1, m);
@@ -211,7 +260,7 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
 
 RelayRunResult RelayWorld::run() {
   for (NodeId v = 0; v < config_.topology.n(); ++v) {
-    if (faulty_[v]) continue;
+    if (hosts_[v] == nullptr) continue;
     engine_.at(0.0, [this, v] { hosts_[v]->start(); });
   }
   engine_.run_until(config_.horizon);
@@ -222,6 +271,9 @@ RelayRunResult RelayWorld::run() {
   result.worst_hops = worst_hops_;
   result.physical_messages = physical_messages_;
   result.floods = next_flood_;
+  result.events = engine_.events_processed();
+  result.sign_ops = pki_->sign_count();
+  result.verify_ops = pki_->verify_count();
   return result;
 }
 

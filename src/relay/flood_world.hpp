@@ -5,8 +5,11 @@
 //
 // Mechanics:
 //  * A broadcast by node `origin` becomes a flood: each honest node forwards
-//    the first copy it receives to all its neighbours; faulty nodes drop
-//    everything (crash relays — the worst case for connectivity).
+//    the first copy it receives to all its neighbours; faulty nodes behave
+//    per the configured RelayAdversary policy (crash / max-delay / reorder /
+//    selective-drop — see relay/adversary.hpp). A faulty origin's own
+//    broadcast rides the same policy: under every kind except kCrash the
+//    node speaks, and its outgoing hops take adversarial delays.
 //  * Each physical hop takes an adversary-chosen delay in
 //    [d_hop − u_hop, d_hop].
 //  * Path balancing (the paper: "one needs to balance the length of the
@@ -27,9 +30,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/signature.hpp"
+#include "relay/adversary.hpp"
 #include "relay/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/hardware_clock.hpp"
@@ -49,8 +54,11 @@ struct RelayConfig {
   double initial_offset = 0.0;
   sim::ClockKind clock_kind = sim::ClockKind::kSpread;
   sim::DelayKind delay_kind = sim::DelayKind::kRandom;
-  /// Crash-faulty relay/protocol nodes (they neither forward nor speak).
+  /// Faulty relay/protocol nodes. How they misbehave is `fault_kind`:
+  /// kCrash nodes neither forward nor speak; the other kinds participate
+  /// but delay, reorder, or selectively drop what they forward.
   std::vector<NodeId> faulty;
+  RelayFaultKind fault_kind = RelayFaultKind::kCrash;
   crypto::Pki::Kind pki_kind = crypto::Pki::Kind::kSymbolic;
 };
 
@@ -60,15 +68,40 @@ struct RelayRunResult {
   std::uint32_t worst_hops = 0; ///< D_f
   std::uint64_t physical_messages = 0;
   std::uint64_t floods = 0;
+  std::uint64_t events = 0;     ///< engine events (comparable across worlds)
+  std::uint64_t sign_ops = 0;
+  std::uint64_t verify_ops = 0;
 };
 
-/// Computes the effective fully-connected model the flooding overlay
-/// presents to the protocol (see file header).
+/// The effective fully-connected model plus the worst-case hop distance D_f
+/// it was derived from — computed once and shared between the runner (the
+/// feasibility check and CSV columns) and the world (the hold schedule), so
+/// the expensive topology analysis runs once per scenario.
+struct RelayEffective {
+  sim::ModelParams model;
+  std::uint32_t worst_hops = 0;
+};
+
+/// Computes the effective model the flooding overlay presents to the
+/// protocol (see file header). Within the worst_case_distance subset budget
+/// both the (f+1)-connectivity check and D_f are exhaustive (exact); beyond
+/// it both degrade together — D_f comes from the sampled walk and the
+/// configured faulty set is verified exactly (connectivity + distances), so
+/// the result is guaranteed sound for the adversary this config
+/// instantiates though still a lower bound over all possible fault sets (a
+/// CS_WARN records this).
+[[nodiscard]] RelayEffective compute_effective(const RelayConfig& config);
+
+/// Convenience wrapper around compute_effective for callers that only need
+/// the model.
 [[nodiscard]] sim::ModelParams effective_model(const RelayConfig& config);
 
 class RelayWorld {
  public:
-  RelayWorld(RelayConfig config, sim::HonestFactory factory);
+  /// `effective` must be compute_effective(config) when supplied; passing it
+  /// avoids recomputing the topology analysis the caller already ran.
+  RelayWorld(RelayConfig config, sim::HonestFactory factory,
+             std::optional<RelayEffective> effective = std::nullopt);
   ~RelayWorld();
 
   RelayRunResult run();
@@ -84,6 +117,7 @@ class RelayWorld {
   sim::ModelParams effective_;
   std::uint32_t worst_hops_ = 0;
   std::vector<bool> faulty_;
+  std::unique_ptr<RelayAdversary> adversary_;
   sim::Engine engine_;
   std::unique_ptr<crypto::Pki> pki_;
   std::vector<sim::HardwareClock> clocks_;

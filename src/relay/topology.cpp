@@ -85,38 +85,124 @@ void Topology::for_each_faulty_set(
   }
 }
 
+void Topology::bfs_from(NodeId s, const std::vector<bool>& excluded,
+                        std::vector<std::uint32_t>& dist) const {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  dist.assign(n(), kInf);
+  std::deque<NodeId> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : adj_[v]) {
+      if (excluded[w] || dist[w] != kInf) continue;
+      dist[w] = dist[v] + 1;
+      queue.push_back(w);
+    }
+  }
+}
+
+namespace {
+
+/// C(n, f), saturated at `cap` so the comparison against the subset budget
+/// never overflows.
+std::uint64_t subset_count_capped(std::uint32_t n, std::uint32_t f,
+                                  std::uint64_t cap) {
+  std::uint64_t count = 1;
+  for (std::uint32_t i = 0; i < f; ++i) {
+    if (count > cap) return cap + 1;
+    count = count * (n - i) / (i + 1);
+  }
+  return std::min(count, cap + 1);
+}
+
+}  // namespace
+
 bool Topology::survives_faults(std::uint32_t f) const {
   CS_CHECK_MSG(f + 2 <= n(), "need at least f+2 nodes");
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  // Connectivity of the surviving graph needs ONE BFS per subset (a graph
+  // is connected iff one source reaches everyone), not a pairwise walk.
   bool ok = true;
+  std::vector<std::uint32_t> dist;
   for_each_faulty_set(f, [&](std::vector<bool>& excluded) {
     if (!ok) return;
-    for (NodeId s = 0; s < n() && ok; ++s) {
-      if (excluded[s]) continue;
-      for (NodeId t = s + 1; t < n() && ok; ++t) {
-        if (excluded[t]) continue;
-        if (distance(s, t, excluded) == kInf) ok = false;
-      }
-    }
+    NodeId source = 0;
+    while (excluded[source]) ++source;
+    bfs_from(source, excluded, dist);
+    for (NodeId t = 0; t < n(); ++t)
+      if (!excluded[t] && dist[t] == kInf) ok = false;
   });
   return ok;
 }
 
-std::uint32_t Topology::worst_case_distance(std::uint32_t f) const {
+bool Topology::worst_case_distance_is_exact(std::uint32_t f) const {
+  return subset_count_capped(n(), f, kWorstCaseSubsetBudget) <=
+         kWorstCaseSubsetBudget;
+}
+
+std::uint32_t Topology::worst_distance_with_faults(
+    const std::vector<bool>& excluded) const {
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  CS_CHECK(excluded.size() == n());
   std::uint32_t worst = 0;
-  for_each_faulty_set(f, [&](std::vector<bool>& excluded) {
-    for (NodeId s = 0; s < n(); ++s) {
-      if (excluded[s]) continue;
-      for (NodeId t = s + 1; t < n(); ++t) {
-        if (excluded[t]) continue;
-        const std::uint32_t dist = distance(s, t, excluded);
-        CS_CHECK_MSG(dist != kInf,
-                     "topology not (f+1)-connected; call survives_faults first");
-        worst = std::max(worst, dist);
+  std::vector<std::uint32_t> dist;
+  for (NodeId s = 0; s < n(); ++s) {
+    if (excluded[s]) continue;
+    bfs_from(s, excluded, dist);
+    for (NodeId t = s + 1; t < n(); ++t) {
+      if (excluded[t]) continue;
+      CS_CHECK_MSG(dist[t] != kInf,
+                   "faulty set disconnects the topology (not "
+                   "(f+1)-connected?)");
+      worst = std::max(worst, dist[t]);
+    }
+  }
+  return worst;
+}
+
+std::uint32_t Topology::worst_case_distance(std::uint32_t f) const {
+  std::uint32_t worst = 0;
+  auto probe = [&](const std::vector<bool>& excluded) {
+    worst = std::max(worst, worst_distance_with_faults(excluded));
+  };
+
+  if (worst_case_distance_is_exact(f)) {
+    for_each_faulty_set(f, probe);  // exhaustive: the exact D_f
+    return worst;
+  }
+
+  // Beyond the budget: deterministic sampling. Structured cuts first —
+  // deleting f neighbors of one node is how relay paths stretch, so every
+  // node's first-f-neighbors cut is probed — then seeded random subsets up
+  // to the budget. Seed depends only on (n, f): same graph, same answer.
+  std::vector<bool> excluded(n(), false);
+  std::uint64_t probes = 0;
+  for (NodeId v = 0; v < n(); ++v) {
+    const auto& nb = adj_[v];
+    const std::uint32_t take =
+        std::min<std::uint32_t>(f, static_cast<std::uint32_t>(nb.size()));
+    for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = true;
+    probe(excluded);
+    ++probes;
+    for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = false;
+  }
+  util::Rng rng(0xd157a9ceULL ^ (static_cast<std::uint64_t>(n()) << 32) ^ f);
+  std::vector<NodeId> picked;
+  while (probes < kWorstCaseSubsetBudget) {
+    picked.clear();
+    while (picked.size() < f) {
+      const NodeId v = static_cast<NodeId>(rng.below(n()));
+      if (!excluded[v]) {
+        excluded[v] = true;
+        picked.push_back(v);
       }
     }
-  });
+    probe(excluded);
+    ++probes;
+    for (const NodeId v : picked) excluded[v] = false;
+  }
   return worst;
 }
 
@@ -143,11 +229,12 @@ Topology Topology::chordal_ring(std::uint32_t n, std::uint32_t stride) {
 Topology Topology::ring_of_cliques(std::uint32_t cliques, std::uint32_t size,
                                    std::uint32_t bridges) {
   // Outgoing bridges leave from nodes {0..bridges-1} and incoming bridges
-  // land on nodes {size-1 .. size-bridges}: every clique then exposes
-  // 2*bridges DISTINCT gateway nodes, so it takes 2*bridges faults inside
-  // one clique to cut it off — the topology survives f = 2*bridges − 1...
-  // in practice f = bridges faults anywhere (bridge endpoints are the
-  // bottleneck across one junction).
+  // land on nodes {size-1 .. size-bridges}: every clique exposes 2*bridges
+  // DISTINCT gateway nodes, so cutting the clique ring takes both junctions
+  // of a segment (2*bridges nodes) and the topology survives
+  // f = 2*bridges − 1 faults anywhere (deleting one junction's endpoints
+  // still leaves the ring connected the other way around; see
+  // max_topology_faults and the RingOfCliquesConnectivityFormula test).
   CS_CHECK(cliques >= 2 && size >= 2 && bridges >= 1 && 2 * bridges <= size);
   Topology topo(cliques * size);
   auto id = [size](std::uint32_t clique, std::uint32_t i) {

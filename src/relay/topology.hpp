@@ -31,17 +31,44 @@ class Topology {
   [[nodiscard]] std::uint32_t distance(NodeId s, NodeId t,
                                        const std::vector<bool>& excluded) const;
 
+  /// Max over non-excluded pairs of dist_{G−excluded}(s, t), one BFS per
+  /// source. Throws (CS_CHECK) when the exclusions disconnect the
+  /// survivors. This is the per-faulty-set step of worst_case_distance,
+  /// exposed for callers that need one concrete fault set evaluated
+  /// exactly (see relay::compute_effective's sampled regime).
+  [[nodiscard]] std::uint32_t worst_distance_with_faults(
+      const std::vector<bool>& excluded) const;
+
   /// True iff every pair of nodes stays connected after removing any set of
   /// up to `f` other nodes — i.e. the graph is (f+1)-connected in the sense
-  /// required by Appendix A. Brute force over subsets: intended for the
-  /// small topologies of tests/benches (n ≤ ~20, f ≤ 3).
+  /// required by Appendix A. Exact (enumerates every size-f subset) but one
+  /// BFS per subset, so n = 64, f = 3 stays well under a second.
   [[nodiscard]] bool survives_faults(std::uint32_t f) const;
 
   /// Worst-case fault-free distance: max over node pairs (s,t) and faulty
   /// sets F, |F| ≤ f, s,t ∉ F, of dist_{G−F}(s, t). This is the hop count
   /// D_f that bounds the relay path length, hence the effective end-to-end
   /// delay D_f · d_hop. Requires survives_faults(f).
+  ///
+  /// Evaluated with one BFS per (subset, source). When the number of size-f
+  /// subsets fits the deterministic budget (kWorstCaseSubsetBudget — always
+  /// the case for n ≤ 12) the walk is exhaustive and the result exact;
+  /// beyond the budget a fixed sample is probed instead — every node's
+  /// first-f-neighbors cut plus seeded random subsets — so n ≥ 64
+  /// ring-of-cliques sweeps finish. The sampled estimate is a lower bound
+  /// on the true D_f and a pure function of (graph, f): deterministic
+  /// across runs, threads, and call sites.
   [[nodiscard]] std::uint32_t worst_case_distance(std::uint32_t f) const;
+
+  /// Subset budget for worst_case_distance: exhaustive at or below, sampled
+  /// above. Covers every f for n ≤ 12 (max C(12,6) = 924).
+  static constexpr std::uint64_t kWorstCaseSubsetBudget = 2048;
+
+  /// Whether worst_case_distance(f) runs the exhaustive walk (true) or the
+  /// budget-bounded sample (false) — i.e. whether its result is the exact
+  /// D_f or a lower bound. Callers deriving soundness-critical parameters
+  /// from a sampled result must compensate (see relay::compute_effective).
+  [[nodiscard]] bool worst_case_distance_is_exact(std::uint32_t f) const;
 
   // --- Factories ---------------------------------------------------------
   [[nodiscard]] static Topology complete(std::uint32_t n);
@@ -70,6 +97,11 @@ class Topology {
  private:
   void for_each_faulty_set(std::uint32_t f,
                            const std::function<void(std::vector<bool>&)>& fn) const;
+
+  /// Single-source BFS over non-excluded nodes; fills `dist` (resized to n)
+  /// with hop counts, UINT32_MAX for excluded/unreachable nodes.
+  void bfs_from(NodeId s, const std::vector<bool>& excluded,
+                std::vector<std::uint32_t>& dist) const;
 
   std::vector<std::vector<NodeId>> adj_;
   std::size_t edges_ = 0;

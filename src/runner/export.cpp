@@ -86,11 +86,23 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("vartheta", {"", fmt(s.vartheta)});
   add("delay", {"", sim::to_string(s.delay), true});
   add("clocks", {"", sim::to_string(s.clocks), true});
+  // The two fault-behavior columns mirror each other: "-" where the axis
+  // does not apply (byz is complete-only, relay_fault is relay-only),
+  // "none" where it applies but no faulty node is instantiated.
   add("byz",
       {"",
-       s.f_actual == 0
-           ? "none"
-           : (s.st_accelerator ? "st-accel" : core::to_string(s.strategy)),
+       s.world != WorldKind::kComplete
+           ? "-"
+           : (s.f_actual == 0
+                  ? "none"
+                  : (s.st_accelerator ? "st-accel"
+                                      : core::to_string(s.strategy))),
+       true});
+  add("relay_fault",
+      {"",
+       s.world != WorldKind::kRelay
+           ? "-"
+           : (s.f_actual == 0 ? "none" : relay::to_string(s.relay_fault)),
        true});
   add("rounds", {"", std::to_string(s.rounds)});
   add("warmup", {"", std::to_string(s.warmup)});

@@ -48,6 +48,15 @@ relay::Topology build_topology(const ScenarioSpec& spec, std::uint64_t seed) {
       return relay::Topology::complete(spec.n);
     case TopologyKind::kRing:
       return relay::Topology::ring(spec.n);
+    case TopologyKind::kChordalRing:
+      CS_CHECK_MSG(spec.n >= 3,
+                   "chordal-ring topology requires n >= 3");
+      return relay::Topology::chordal_ring(spec.n, 2);
+    case TopologyKind::kRingOfCliques:
+      CS_CHECK_MSG(spec.n >= 8 && spec.n % 4 == 0,
+                   "ring-of-cliques topology requires n to be a multiple of "
+                   "4 with at least two cliques");
+      return relay::Topology::ring_of_cliques(spec.n / 4, 4, 2);
     case TopologyKind::kHypercube: {
       CS_CHECK_MSG(spec.n >= 2 && (spec.n & (spec.n - 1)) == 0,
                    "hypercube topology requires n to be a power of two");
@@ -133,15 +142,24 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   config.seed = result.seed;
   config.clock_kind = spec.clocks;
   config.delay_kind = spec.delay;
-  // Faulty relays crash (drop everything) — the Appendix-A worst case.
+  // Faulty relays misbehave per the spec's relay-fault axis: crash (drop
+  // everything) or the signature-legal Byzantine behaviors — max-delay,
+  // reorder, selective-drop (relay/adversary.hpp).
   config.faulty = sim::default_faulty_set(spec.f_actual);
+  config.fault_kind = spec.relay_fault;
 
-  const auto effective = relay::effective_model(config);
-  result.d_eff = effective.d;
-  result.u_eff = effective.u;
+  // One topology analysis per scenario: the RelayEffective feeds the
+  // feasibility check, the CSV columns, and (passed through) the world's
+  // hold schedule.
+  const auto effective = relay::compute_effective(config);
+  result.d_eff = effective.model.d;
+  result.u_eff = effective.model.u;
+  // Alongside d_eff/u_eff (not after the run): infeasible rows must still
+  // satisfy d_eff = worst_hops · d_hop.
+  result.worst_hops = effective.worst_hops;
 
   const auto setup =
-      baselines::make_setup(spec.protocol, effective, spec.slack);
+      baselines::make_setup(spec.protocol, effective.model, spec.slack);
   result.feasible = setup.feasible;
   if (!setup.feasible) return;
   result.predicted_skew = setup.predicted_skew;
@@ -152,14 +170,16 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
 
   relay::RelayWorld world(
       config,
-      baselines::make_protocol_factory(setup, static_cast<Round>(spec.rounds)));
+      baselines::make_protocol_factory(setup, static_cast<Round>(spec.rounds)),
+      effective);
   const relay::RelayRunResult run = world.run();
 
-  result.worst_hops = run.worst_hops;
   result.live = run.trace.live(spec.rounds);
   result.rounds_completed = run.trace.complete_rounds();
   result.messages = run.physical_messages;
-  result.events = run.floods;
+  result.events = run.events;
+  result.sign_ops = run.sign_ops;
+  result.verify_ops = run.verify_ops;
 
   if (result.rounds_completed > 0) {
     fill_skew_metrics(run.trace, spec, result);

@@ -37,6 +37,8 @@ const char* to_string(TopologyKind kind) {
   switch (kind) {
     case TopologyKind::kComplete: return "complete";
     case TopologyKind::kRing: return "ring";
+    case TopologyKind::kChordalRing: return "chordal-ring";
+    case TopologyKind::kRingOfCliques: return "ring-of-cliques";
     case TopologyKind::kHypercube: return "hypercube";
     case TopologyKind::kRandomConnected: return "random";
   }
@@ -54,6 +56,9 @@ std::optional<WorldKind> parse_world(std::string_view s) {
 std::optional<TopologyKind> parse_topology(std::string_view s) {
   if (s == "complete") return TopologyKind::kComplete;
   if (s == "ring") return TopologyKind::kRing;
+  if (s == "chordal-ring" || s == "chordal") return TopologyKind::kChordalRing;
+  if (s == "ring-of-cliques" || s == "cliques")
+    return TopologyKind::kRingOfCliques;
   if (s == "hypercube") return TopologyKind::kHypercube;
   if (s == "random") return TopologyKind::kRandomConnected;
   return std::nullopt;
@@ -81,6 +86,15 @@ std::optional<sim::ClockKind> parse_clock_kind(std::string_view s) {
   if (s == "spread") return sim::ClockKind::kSpread;
   if (s == "random-walk" || s == "walk") return sim::ClockKind::kRandomWalk;
   return std::nullopt;  // kCustom needs a clock vector, not a flag
+}
+
+std::optional<relay::RelayFaultKind> parse_relay_fault(std::string_view s) {
+  if (s == "crash") return relay::RelayFaultKind::kCrash;
+  if (s == "max-delay" || s == "delay") return relay::RelayFaultKind::kMaxDelay;
+  if (s == "reorder") return relay::RelayFaultKind::kReorder;
+  if (s == "selective-drop" || s == "drop")
+    return relay::RelayFaultKind::kSelectiveDrop;
+  return std::nullopt;
 }
 
 std::optional<core::ByzStrategy> parse_byz_strategy(std::string_view s) {
@@ -126,6 +140,8 @@ std::string ScenarioSpec::name() const {
     if (late_shift != 0.0) os << " late=" << late_shift;
     if (split_shift != 0.0) os << " shift=" << split_shift;
   }
+  if (f_actual > 0 && world == WorldKind::kRelay)
+    os << " fault=" << relay::to_string(relay_fault);
   return os.str();
 }
 
@@ -144,6 +160,7 @@ std::uint64_t ScenarioSpec::key() const noexcept {
   h = fold(h, static_cast<std::uint64_t>(delay));
   h = fold(h, static_cast<std::uint64_t>(clocks));
   h = fold(h, static_cast<std::uint64_t>(strategy));
+  h = fold(h, static_cast<std::uint64_t>(relay_fault));
   h = fold(h, static_cast<std::uint64_t>(st_accelerator));
   h = fold(h, late_shift);
   h = fold(h, split_shift);
@@ -165,6 +182,18 @@ std::uint32_t max_topology_faults(TopologyKind kind,
   switch (kind) {
     case TopologyKind::kRing:
       return n >= 3 ? 1u : 0u;  // a ring is 2-connected (n = 3 is a triangle)
+    case TopologyKind::kChordalRing:
+      // C_n(1, 2) is 4-connected (consecutive-stride circulants are
+      // maximally connected); small n degenerate toward complete, where
+      // only the trivial f + 2 <= n cap binds.
+      return n >= 3 ? std::min(3u, n - 2) : 0u;
+    case TopologyKind::kRingOfCliques:
+      // The wired family is cliques of size 4 with 2 bridges per junction:
+      // cutting the ring takes both junctions (2·bridges = 4 nodes), and
+      // isolating a node takes its full degree-4 neighborhood — so it
+      // survives 2·bridges − 1 = 3 faults. Zero for shapes the factory
+      // rejects (n not a positive multiple of 4 with at least 2 cliques).
+      return (n >= 8 && n % 4 == 0) ? 3u : 0u;
     case TopologyKind::kHypercube: {
       // Connectivity of a k-cube is k = log2(n); survives k − 1 faults.
       std::uint32_t dim = 0;
@@ -256,6 +285,15 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                       spec.rounds = rounds;
                       spec.warmup = warmup;
                       spec.slack = slack;
+                      if (relay && faults > 0) {
+                        // Faulty relay points multiply by the relay-fault
+                        // axis instead of the (complete-world) strategies.
+                        for (const auto fault : relay_faults) {
+                          spec.relay_fault = fault;
+                          push(spec);
+                        }
+                        continue;
+                      }
                       if (faults == 0 || relay || thm5) {
                         push(spec);  // strategy axis is irrelevant
                         continue;

@@ -14,6 +14,7 @@
 
 #include "baselines/factories.hpp"
 #include "core/adversaries.hpp"
+#include "relay/adversary.hpp"
 #include "sim/model.hpp"
 #include "sim/network.hpp"
 #include "sim/world.hpp"
@@ -32,7 +33,20 @@ namespace crusader::runner {
 enum class WorldKind { kComplete, kRelay, kTheorem5 };
 
 /// Topology family for WorldKind::kRelay.
-enum class TopologyKind { kComplete, kRing, kHypercube, kRandomConnected };
+///  * kChordalRing — the circulant C_n(1, 2): the ring plus stride-2 chords,
+///    4-connected for n ≥ 6 so it survives up to 3 faults while staying
+///    degree-4 sparse.
+///  * kRingOfCliques — n/4 cliques of size 4 joined by 2 disjoint bridges
+///    per junction ("balanced paths", EXPERIMENTS E11); requires n ≡ 0
+///    (mod 4), n ≥ 8, and survives up to 2·bridges − 1 = 3 faults.
+enum class TopologyKind {
+  kComplete,
+  kRing,
+  kChordalRing,
+  kRingOfCliques,
+  kHypercube,
+  kRandomConnected
+};
 
 [[nodiscard]] const char* to_string(WorldKind kind);
 [[nodiscard]] const char* to_string(TopologyKind kind);
@@ -51,6 +65,8 @@ enum class TopologyKind { kComplete, kRing, kHypercube, kRandomConnected };
 [[nodiscard]] std::optional<sim::ClockKind> parse_clock_kind(
     std::string_view s);
 [[nodiscard]] std::optional<core::ByzStrategy> parse_byz_strategy(
+    std::string_view s);
+[[nodiscard]] std::optional<relay::RelayFaultKind> parse_relay_fault(
     std::string_view s);
 
 /// One fully-specified simulation scenario. Everything influencing the run is
@@ -82,6 +98,9 @@ struct ScenarioSpec {
   sim::ClockKind clocks = sim::ClockKind::kSpread;
   /// Byzantine behavior; only consulted when f_actual > 0 (kComplete only).
   core::ByzStrategy strategy = core::ByzStrategy::kCrash;
+  /// Relay-only: how faulty relays misbehave (crash / max-delay / reorder /
+  /// selective-drop); only consulted when f_actual > 0.
+  relay::RelayFaultKind relay_fault = relay::RelayFaultKind::kCrash;
   /// When true (and f_actual > 0), runs the ST certificate-acceleration
   /// attack (all faulty nodes target node n-1) instead of `strategy`.
   bool st_accelerator = false;
@@ -108,15 +127,17 @@ struct ScenarioSpec {
 };
 
 /// Axis lists expanded into the cross product of ScenarioSpecs. Expansion
-/// order (outer to inner): world, protocol, n, fault load, vartheta, u,
-/// u_tilde, delay, clocks, topology, strategy. Axes that a world cannot
-/// express collapse to one spec instead of multiplying:
-///  * fault-free grid points ignore the strategy axis;
-///  * kComplete ignores the topology axis;
-///  * kRelay ignores the strategy axis (faulty relays always crash) and the
-///    ũ axis (the overlay has no faulty links; ũ_eff tracks u_eff);
+/// order (outer to inner): world, protocol, n, topology, fault load,
+/// vartheta, u, u_tilde, delay, clocks, strategy/relay-fault. Axes that a
+/// world cannot express collapse to one spec instead of multiplying:
+///  * fault-free grid points ignore the strategy and relay-fault axes;
+///  * kComplete ignores the topology and relay-fault axes;
+///  * kRelay ignores the strategy axis (faulty relays misbehave per the
+///    relay-fault axis instead) and the ũ axis (the overlay has no faulty
+///    links; ũ_eff tracks u_eff);
 ///  * kTheorem5 pins n = 3, f = 1 and ignores the fault, delay, clocks,
-///    topology, and strategy axes (the construction owns all of those).
+///    topology, strategy, and relay-fault axes (the construction owns all
+///    of those).
 /// Collapsed duplicates are deduplicated by spec digest.
 struct SweepGrid {
   std::vector<WorldKind> worlds{WorldKind::kComplete};
@@ -138,6 +159,9 @@ struct SweepGrid {
   std::vector<sim::ClockKind> clock_kinds{sim::ClockKind::kSpread};
   std::vector<TopologyKind> topologies{TopologyKind::kComplete};
   std::vector<core::ByzStrategy> strategies{core::ByzStrategy::kCrash};
+  /// Relay-fault behaviors for faulty kRelay grid points.
+  std::vector<relay::RelayFaultKind> relay_faults{
+      relay::RelayFaultKind::kCrash};
   double d = 1.0;
   std::size_t rounds = 20;
   std::size_t warmup = 5;
@@ -154,7 +178,8 @@ struct SweepGrid {
                                            std::uint32_t n) noexcept;
 
 /// Largest f a relay world on this topology family can be asked to survive:
-/// connectivity − 1 (1 for a ring, log2(n) − 1 for a hypercube, n − 2 for
+/// connectivity − 1 (1 for a ring, 3 for the stride-2 chordal ring and the
+/// 4/2 ring of cliques, log2(n) − 1 for a hypercube, n − 2 for
 /// complete/random — random graphs are grown until (f+1)-connected, so only
 /// the trivial cap applies).
 [[nodiscard]] std::uint32_t max_topology_faults(TopologyKind kind,

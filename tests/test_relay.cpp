@@ -4,9 +4,12 @@
 
 #include "relay/flood_world.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <gtest/gtest.h>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -72,6 +75,134 @@ TEST(Topology, DuplicateEdgesIgnored) {
   EXPECT_EQ(topo.edge_count(), 1u);
 }
 
+// --- Property tests for the wired sparse families ---------------------------
+
+/// Reference implementation of worst_case_distance: the original brute-force
+/// per-pair walk over every size-f subset. Only viable for n ≤ 12 — which is
+/// exactly the regime where the production BFS must agree with it exactly.
+std::uint32_t brute_force_worst_distance(const Topology& topo,
+                                         std::uint32_t f) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t n = topo.n();
+  std::uint32_t worst = 0;
+  std::vector<bool> excluded(n, false);
+  std::vector<NodeId> subset;
+  std::function<void(NodeId)> rec = [&](NodeId start) {
+    if (subset.size() == f) {
+      for (NodeId s = 0; s < n; ++s) {
+        if (excluded[s]) continue;
+        for (NodeId t = s + 1; t < n; ++t) {
+          if (excluded[t]) continue;
+          const std::uint32_t dist = topo.distance(s, t, excluded);
+          CS_CHECK(dist != kInf);
+          worst = std::max(worst, dist);
+        }
+      }
+      return;
+    }
+    for (NodeId v = start; v < n; ++v) {
+      excluded[v] = true;
+      subset.push_back(v);
+      rec(v + 1);
+      subset.pop_back();
+      excluded[v] = false;
+    }
+  };
+  rec(0);
+  return worst;
+}
+
+TEST(Topology, ChordalRingConnectivityFormula) {
+  // C_n(1, 2) is 4-connected for n ≥ 6 (consecutive-stride circulants are
+  // maximally connected): survives min(3, n − 2) faults and no more.
+  for (std::uint32_t n = 5; n <= 12; ++n) {
+    SCOPED_TRACE(n);
+    const auto topo = Topology::chordal_ring(n, 2);
+    const std::uint32_t f = std::min(3u, n - 2);
+    EXPECT_TRUE(topo.survives_faults(f));
+    if (f + 3 <= n) {
+      EXPECT_FALSE(topo.survives_faults(f + 1));
+    }
+  }
+}
+
+TEST(Topology, RingOfCliquesConnectivityFormula) {
+  // Size-4 cliques with 2 bridges per junction: cutting the clique ring
+  // takes both junctions (4 nodes) and isolating a node takes its degree-4
+  // neighborhood, so the family survives 2·bridges − 1 = 3 faults exactly.
+  for (std::uint32_t cliques = 2; cliques <= 3; ++cliques) {
+    SCOPED_TRACE(cliques);
+    const auto topo = Topology::ring_of_cliques(cliques, 4, 2);
+    EXPECT_TRUE(topo.survives_faults(3));
+    EXPECT_FALSE(topo.survives_faults(4));
+  }
+}
+
+TEST(Topology, WorstCaseDistanceMonotoneInFaults) {
+  const Topology topos[] = {Topology::chordal_ring(10, 2),
+                            Topology::ring_of_cliques(3, 4, 2),
+                            Topology::hypercube(3)};
+  const std::uint32_t max_f[] = {3, 3, 2};
+  for (std::size_t i = 0; i < std::size(topos); ++i) {
+    std::uint32_t prev = topos[i].worst_case_distance(0);
+    for (std::uint32_t f = 1; f <= max_f[i]; ++f) {
+      SCOPED_TRACE(testing::Message() << "topology " << i << " f=" << f);
+      const std::uint32_t d = topos[i].worst_case_distance(f);
+      EXPECT_GE(d, prev);  // deleting more nodes never shortens worst paths
+      prev = d;
+    }
+  }
+}
+
+TEST(Topology, BfsWalkAgreesWithBruteForceUpToTwelveNodes) {
+  // n ≤ 12 keeps every family inside the exhaustive-subset budget, where
+  // the per-source BFS must reproduce the brute-force walk bit for bit.
+  for (std::uint32_t n = 4; n <= 12; ++n) {
+    SCOPED_TRACE(testing::Message() << "ring n=" << n);
+    const auto ring = Topology::ring(n);
+    for (std::uint32_t f = 0; f <= (n >= 5 ? 1u : 0u); ++f)
+      EXPECT_EQ(ring.worst_case_distance(f),
+                brute_force_worst_distance(ring, f));
+  }
+  for (std::uint32_t n = 6; n <= 12; ++n) {
+    SCOPED_TRACE(testing::Message() << "chordal n=" << n);
+    const auto chordal = Topology::chordal_ring(n, 2);
+    for (std::uint32_t f = 0; f <= 3; ++f)
+      EXPECT_EQ(chordal.worst_case_distance(f),
+                brute_force_worst_distance(chordal, f));
+  }
+  for (std::uint32_t cliques = 2; cliques <= 3; ++cliques) {
+    SCOPED_TRACE(testing::Message() << "cliques=" << cliques);
+    const auto roc = Topology::ring_of_cliques(cliques, 4, 2);
+    for (std::uint32_t f = 0; f <= 3; ++f)
+      EXPECT_EQ(roc.worst_case_distance(f),
+                brute_force_worst_distance(roc, f));
+  }
+  const auto cube = Topology::hypercube(3);
+  for (std::uint32_t f = 0; f <= 2; ++f)
+    EXPECT_EQ(cube.worst_case_distance(f),
+              brute_force_worst_distance(cube, f));
+  const auto complete = Topology::complete(7);
+  for (std::uint32_t f = 0; f <= 3; ++f)
+    EXPECT_EQ(complete.worst_case_distance(f),
+              brute_force_worst_distance(complete, f));
+}
+
+TEST(Topology, SampledWalkIsDeterministicAndCoversLargeN) {
+  // n = 64 ring of cliques: C(64, 3) blows the exhaustive budget, so the
+  // sampled path runs. It must be a pure function of (graph, f), at least
+  // as large as the fault-free diameter, and fast enough to call twice.
+  const auto topo = Topology::ring_of_cliques(16, 4, 2);
+  ASSERT_EQ(topo.n(), 64u);
+  EXPECT_TRUE(topo.worst_case_distance_is_exact(0));
+  EXPECT_FALSE(topo.worst_case_distance_is_exact(3));  // C(64,3) > budget
+  const std::uint32_t d0 = topo.worst_case_distance(0);
+  const std::uint32_t d3 = topo.worst_case_distance(3);
+  EXPECT_GE(d3, d0);
+  EXPECT_EQ(d3, topo.worst_case_distance(3));
+  EXPECT_TRUE(topo.survives_faults(3));  // exact even at n = 64
+}
+
 sim::ModelParams hop_model(std::uint32_t n, std::uint32_t f) {
   sim::ModelParams hop;
   hop.n = n;
@@ -106,6 +237,34 @@ TEST(EffectiveModel, RejectsUnderConnectedTopology) {
   config.topology = Topology::ring(6);
   config.hop_model = hop_model(6, 2);  // ring is not 3-connected
   EXPECT_THROW((void)effective_model(config), util::CheckFailure);
+}
+
+TEST(EffectiveModel, SampledWalkStaysSoundForConfiguredFaultySet) {
+  // n = 64: worst_case_distance samples, so compute_effective must fold in
+  // the configured faulty set's exact distances — the exported worst_hops
+  // can never undercount the paths the instantiated adversary forces.
+  RelayConfig config;
+  config.topology = Topology::ring_of_cliques(16, 4, 2);
+  config.hop_model = hop_model(64, 3);
+  config.hop_model.vartheta = 1.0005;
+  config.hop_model.u = 0.005;
+  config.hop_model.u_tilde = 0.005;
+  config.faulty = {0, 1, 2};
+  ASSERT_FALSE(config.topology.worst_case_distance_is_exact(3));
+  const auto eff = compute_effective(config);
+
+  std::vector<bool> excluded(64, false);
+  for (const NodeId v : config.faulty) excluded[v] = true;
+  std::uint32_t realized = 0;
+  for (NodeId s = 0; s < 64; ++s) {
+    if (excluded[s]) continue;
+    for (NodeId t = s + 1; t < 64; ++t) {
+      if (excluded[t]) continue;
+      realized = std::max(realized, config.topology.distance(s, t, excluded));
+    }
+  }
+  EXPECT_GE(eff.worst_hops, realized);
+  EXPECT_DOUBLE_EQ(eff.model.d, eff.worst_hops * config.hop_model.d);
 }
 
 RelayRunResult run_cps_on(const Topology& topo, std::uint32_t f,

@@ -353,10 +353,19 @@ TEST(Cli, EveryEnumeratorReachableFromFlags) {
     EXPECT_EQ(*parsed, kind);
   }
   for (const auto kind :
-       {TopologyKind::kComplete, TopologyKind::kRing, TopologyKind::kHypercube,
+       {TopologyKind::kComplete, TopologyKind::kRing, TopologyKind::kChordalRing,
+        TopologyKind::kRingOfCliques, TopologyKind::kHypercube,
         TopologyKind::kRandomConnected}) {
     const auto parsed = parse_topology(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  for (const auto kind :
+       {relay::RelayFaultKind::kCrash, relay::RelayFaultKind::kMaxDelay,
+        relay::RelayFaultKind::kReorder,
+        relay::RelayFaultKind::kSelectiveDrop}) {
+    const auto parsed = parse_relay_fault(relay::to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << relay::to_string(kind);
     EXPECT_EQ(*parsed, kind);
   }
   for (const auto kind :
@@ -374,6 +383,47 @@ TEST(Cli, EveryEnumeratorReachableFromFlags) {
     ASSERT_TRUE(parsed.has_value()) << core::to_string(strategy);
     EXPECT_EQ(*parsed, strategy);
   }
+}
+
+TEST(Cli, ParsersRejectUnknownSpellings) {
+  EXPECT_FALSE(parse_world("mesh").has_value());
+  EXPECT_FALSE(parse_topology("torus").has_value());
+  EXPECT_FALSE(parse_topology("chordal_ring").has_value());  // dash, not _
+  EXPECT_FALSE(parse_relay_fault("equivocate").has_value());
+  EXPECT_FALSE(parse_relay_fault("maxdelay").has_value());
+  EXPECT_FALSE(parse_relay_fault("").has_value());
+  EXPECT_FALSE(parse_delay_kind("uniform").has_value());
+  EXPECT_FALSE(parse_byz_strategy("st-accel").has_value());  // flag, not enum
+}
+
+TEST(Scenario, RelayFaultAndNewTopologiesForkDistinctSeeds) {
+  ScenarioSpec base;
+  base.world = WorldKind::kRelay;
+  base.topology = TopologyKind::kChordalRing;
+  base.f = 1;
+  base.f_actual = 1;
+
+  ScenarioSpec delayed = base;
+  delayed.relay_fault = relay::RelayFaultKind::kMaxDelay;
+  EXPECT_NE(base.key(), delayed.key());
+  EXPECT_NE(scenario_seed(base, 1), scenario_seed(delayed, 1));
+
+  ScenarioSpec cliques = base;
+  cliques.topology = TopologyKind::kRingOfCliques;
+  EXPECT_NE(base.key(), cliques.key());
+  EXPECT_NE(scenario_seed(base, 1), scenario_seed(cliques, 1));
+}
+
+TEST(Scenario, MaxTopologyFaultsForNewFamilies) {
+  EXPECT_EQ(max_topology_faults(TopologyKind::kChordalRing, 8), 3u);
+  EXPECT_EQ(max_topology_faults(TopologyKind::kChordalRing, 4), 2u);
+  // n = 3 degenerates to the triangle K3: buildable and survives 1 fault.
+  EXPECT_EQ(max_topology_faults(TopologyKind::kChordalRing, 3), 1u);
+  EXPECT_EQ(max_topology_faults(TopologyKind::kRingOfCliques, 8), 3u);
+  EXPECT_EQ(max_topology_faults(TopologyKind::kRingOfCliques, 12), 3u);
+  // Shapes the factory rejects resolve to zero survivable faults.
+  EXPECT_EQ(max_topology_faults(TopologyKind::kRingOfCliques, 10), 0u);
+  EXPECT_EQ(max_topology_faults(TopologyKind::kRingOfCliques, 4), 0u);
 }
 
 TEST(Export, JsonWellFormedEnough) {
