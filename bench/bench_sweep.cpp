@@ -7,6 +7,11 @@
 // RelayFaultKind over the four sparse topology families at max fault load,
 // with per-cell wall clock so the perf trajectory of the relay world is
 // tracked alongside its bound conformance.
+//
+// E13 — the per-sweep relay analysis memo cache: large-n sparse families ×
+// the full relay-fault axis, timing the topology analysis (connectivity +
+// worst-case distance BFS walk) uncached per cell vs. memoized, plus the
+// end-to-end run_sweep wall clock with the cache on and off.
 
 #include <algorithm>
 #include <chrono>
@@ -17,6 +22,8 @@
 
 #include "bench_common.hpp"
 #include "relay/adversary.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 
@@ -122,6 +129,99 @@ int run_bench() {
          std::to_string(r.messages), util::Table::num(secs, 3)});
   }
   bench::print(relay_table);
+
+  // E13: the relay analysis memo cache. Cells sharing (topology family, n,
+  // f, faulty set) reuse one BFS walk; the relay-fault axis (4 kinds per
+  // family) is exactly such sharing, so the expected setup cut is ~4× per
+  // family. Measured two ways: the analysis alone (uncached per cell vs.
+  // memoized), and the end-to-end sweep.
+  runner::SweepGrid cache_grid;
+  cache_grid.worlds = {runner::WorldKind::kRelay};
+  cache_grid.protocols = {baselines::ProtocolKind::kCps};
+  cache_grid.ns = {32};
+  cache_grid.fault_loads = {runner::SweepGrid::kMaxResilience};
+  cache_grid.topologies = {runner::TopologyKind::kChordalRing,
+                           runner::TopologyKind::kRingOfCliques};
+  cache_grid.relay_faults = {
+      relay::RelayFaultKind::kCrash, relay::RelayFaultKind::kMaxDelay,
+      relay::RelayFaultKind::kReorder, relay::RelayFaultKind::kSelectiveDrop};
+  cache_grid.us = {0.001};
+  cache_grid.varthetas = {1.0001};
+  cache_grid.rounds = 2;
+  cache_grid.warmup = 0;
+  const auto cache_specs = cache_grid.expand();
+
+  // Analysis-only comparison over the expanded cells (n = 32 at f = 3 is
+  // past the exhaustive subset budget, so each analysis is the sampled BFS
+  // walk — the expensive regime the cache exists for).
+  auto cell_config = [](const runner::ScenarioSpec& spec) {
+    relay::RelayConfig config;
+    config.topology =
+        spec.topology == runner::TopologyKind::kChordalRing
+            ? relay::Topology::chordal_ring(spec.n, 2)
+            : relay::Topology::ring_of_cliques(spec.n / 4, 4, 2);
+    config.hop_model = bench::bench_model(spec.n, spec.f, spec.u,
+                                          spec.vartheta, spec.d);
+    config.faulty = sim::default_faulty_set(spec.f_actual);
+    config.fault_kind = spec.relay_fault;
+    return config;
+  };
+  const auto uncached_start = std::chrono::steady_clock::now();
+  for (const auto& spec : cache_specs)
+    (void)relay::compute_effective(cell_config(spec));
+  const double uncached_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    uncached_start)
+          .count();
+  relay::EffectiveCache analysis_cache;
+  const auto cached_start = std::chrono::steady_clock::now();
+  for (const auto& spec : cache_specs) {
+    // Key shape mirrors the runner's: family, n, f, faulty set (seed only
+    // matters for the random family, absent from this grid).
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(spec.topology) << 32) ^
+        (spec.n << 16) ^ (spec.f << 8) ^ spec.f_actual;
+    (void)analysis_cache.get(key, cell_config(spec));
+  }
+  const double cached_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cached_start)
+          .count();
+
+  // End-to-end: same grid through run_sweep with the cache off and on.
+  runner::RunnerOptions no_cache;
+  no_cache.relay_cache = false;
+  const auto off_start = std::chrono::steady_clock::now();
+  (void)runner::run_sweep(cache_specs, no_cache);
+  const double sweep_off = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - off_start)
+                               .count();
+  const auto on_start = std::chrono::steady_clock::now();
+  (void)runner::run_sweep(cache_specs, {});
+  const double sweep_on = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - on_start)
+                              .count();
+
+  util::Table cache_table(
+      "E13: relay compute_effective memo cache (" +
+      std::to_string(cache_specs.size()) +
+      " cells: 2 sparse families x 4 relay faults, n=32 at max fault load)");
+  cache_table.set_header(
+      {"path", "seconds", "speedup", "analyses", "cache hits"});
+  cache_table.add_row({"analysis uncached", util::Table::num(uncached_secs, 3),
+                       "1x", std::to_string(cache_specs.size()), "-"});
+  cache_table.add_row(
+      {"analysis memoized", util::Table::num(cached_secs, 3),
+       util::Table::num(uncached_secs / std::max(cached_secs, 1e-9), 2) + "x",
+       std::to_string(analysis_cache.misses()),
+       std::to_string(analysis_cache.hits())});
+  cache_table.add_row({"run_sweep cache off", util::Table::num(sweep_off, 3),
+                       "1x", std::to_string(cache_specs.size()), "-"});
+  cache_table.add_row(
+      {"run_sweep cache on", util::Table::num(sweep_on, 3),
+       util::Table::num(sweep_off / std::max(sweep_on, 1e-9), 2) + "x", "-",
+       "-"});
+  bench::print(cache_table);
   return 0;
 }
 

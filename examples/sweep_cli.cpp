@@ -5,6 +5,8 @@
 //                 --threads=2 --format=table     # CI smoke sweep (one line)
 //   $ ./sweep_cli --world relay --topology hypercube --format=csv
 //   $ ./sweep_cli --world theorem5 --u-tilde 0.2
+//   $ ./sweep_cli --format=csv --out=camp.csv --resume=camp.manifest
+//                 --budget-ms=2000 --history=ratios.txt --gate-trend=5
 //
 // Flags take `--key=value` or `--key value`. Axes (comma-separated lists
 // expand to the cross product):
@@ -26,22 +28,51 @@
 //   --relay-fault=crash,reorder  faulty-relay behaviors for relay worlds
 //                              (crash|max-delay|reorder|selective-drop);
 //                              only multiplies faulty relay grid points
-//   --delays=random,split      delay policies (max|min|random|split)
+//   --delays=random,split      delay policies (max|min|random|split), plus
+//                              custom spellings: custom:fixed:<fraction>,
+//                              custom:alternate, custom:target:<node>
+//                              (--delay is accepted as an alias)
 //   --clocks=spread,random-walk  clock assignments (nominal|spread|random-walk)
 //   --byz=crash,split          Byzantine strategies (only for faults > 0);
 //                              also accepts st-accel
 // Scalars:
 //   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
-//   --gate=RATIO   fail (exit 1) when any feasible completed scenario has
-//                  max_skew/bound > RATIO — or, for theorem5 scenarios,
-//                  fails to realize its lower bound
+//   --gate=RATIO   fail (exit 1) when any scenario errored/timed out or any
+//                  feasible completed scenario has max_skew/bound > RATIO —
+//                  or, for theorem5 scenarios, fails to realize its lower
+//                  bound
+//   --budget-ms=N  per-scenario wall-clock budget: a cell that exhausts it
+//                  is aborted and exported with timed_out=1 instead of
+//                  hanging the sweep
+// Campaigns (streamed, resumable CSV):
+//   --resume=FILE  checkpoint manifest path; requires --format=csv --out.
+//                  Results stream to the CSV as they complete (memory stays
+//                  O(threads) however large the grid) and completed spec
+//                  digests checkpoint to FILE every --checkpoint-every=N
+//                  rows (default 32). Re-running the same command after a
+//                  kill resumes: already-recorded rows are skipped and the
+//                  final CSV is byte-identical to an uninterrupted run.
+// skew_ratio history:
+//   --history=FILE    append one summary line per run (max/mean skew_ratio
+//                     per world, tagged with a digest of the grid + seed)
+//                     to FILE
+//   --gate-trend=PCT  fail (exit 1) when any world's max skew_ratio
+//                     regressed more than PCT percent over the baseline, or
+//                     when any cell errored/timed out. The baseline is the
+//                     last --history entry for the SAME grid + seed that
+//                     completed cleanly (entries from other grids and
+//                     errored/timed-out runs are never a baseline; with no
+//                     comparable entry the trend check passes). A regressed
+//                     run is NOT appended, so the baseline stays.
 // Output:
 //   --format=csv|json|table (default table)   --out=FILE (default stdout)
 //
-// Exit status is non-zero if any scenario errored, any feasible fault-free
-// CPS scenario exceeded its Theorem-17 skew bound, or the --gate tripped.
+// Exit status is non-zero if any scenario errored or timed out, any feasible
+// fault-free CPS scenario exceeded its Theorem-17 skew bound, or the --gate
+// or --gate-trend tripped. Malformed flag values exit 2 naming the flag.
 
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -49,7 +80,9 @@
 #include <string>
 #include <vector>
 
+#include "runner/campaign.hpp"
 #include "runner/export.hpp"
+#include "runner/history.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 #include "util/table.hpp"
@@ -73,6 +106,29 @@ int fail(const std::string& msg) {
   return 2;
 }
 
+/// Strict numeric flag parsing: exits 2 naming the flag on anything
+/// std::from_chars does not consume completely — "abc", "1.5x", "-3" for
+/// unsigned flags, inf/nan, overflow. (Bare std::stod/std::stoul accept
+/// partial parses and wrap negatives, which is how "--gate=1.0x" used to
+/// gate at 1.0 silently.)
+struct FlagError {
+  std::string message;
+};
+
+double need_double(const std::string& key, const std::string& value) {
+  const auto parsed = runner::parse_double_strict(value);
+  if (!parsed)
+    throw FlagError{"bad numeric value for --" + key + ": '" + value + "'"};
+  return *parsed;
+}
+
+std::uint64_t need_u64(const std::string& key, const std::string& value) {
+  const auto parsed = runner::parse_u64_strict(value);
+  if (!parsed)
+    throw FlagError{"bad numeric value for --" + key + ": '" + value + "'"};
+  return *parsed;
+}
+
 void print_table(std::ostream& os, const runner::SweepReport& report) {
   util::Table table("scenario sweep (" +
                     std::to_string(report.results.size()) + " scenarios)");
@@ -86,19 +142,20 @@ void print_table(std::ostream& os, const runner::SweepReport& report) {
                    r.rounds_completed ? util::Table::num(r.skew_ratio, 3) : "-",
                    util::Table::boolean(r.within_bound),
                    std::to_string(r.messages), std::to_string(r.violations),
-                   r.error.empty() ? "-" : r.error});
+                   r.timed_out ? "TIMED OUT"
+                               : (r.error.empty() ? "-" : r.error)});
   }
   table.print(os);
 
   util::Table summary("per-protocol summary (feasible, error-free scenarios)");
   summary.set_header({"protocol", "scenarios", "infeasible", "errors",
-                      "bound violations", "steady skew mean", "steady skew max",
-                      "messages mean"});
+                      "timed out", "bound violations", "steady skew mean",
+                      "steady skew max", "messages mean"});
   for (const auto& s : report.by_protocol()) {
     summary.add_row(
         {baselines::to_string(s.protocol), std::to_string(s.scenarios),
          std::to_string(s.infeasible), std::to_string(s.errors),
-         std::to_string(s.bound_violations),
+         std::to_string(s.timed_out), std::to_string(s.bound_violations),
          s.steady_skew.count() ? util::Table::num(s.steady_skew.mean(), 4) : "-",
          s.steady_skew.count() ? util::Table::num(s.steady_skew.max(), 4) : "-",
          s.messages.count() ? util::Table::num(s.messages.mean(), 1) : "-"});
@@ -125,9 +182,13 @@ int main(int argc, char** argv) {
   runner::RunnerOptions options;
   std::string format = "table";
   std::string out_path;
+  std::string resume_path;
+  std::string history_path;
+  std::size_t checkpoint_every = 32;
   bool st_accel = false;
   bool n_given = false;
   std::optional<double> gate;
+  std::optional<double> gate_trend;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,8 +224,12 @@ int main(int argc, char** argv) {
       } else if (key == "n") {
         n_given = true;
         grid.ns.clear();
-        for (const auto& s : split(value))
-          grid.ns.push_back(static_cast<std::uint32_t>(std::stoul(s)));
+        for (const auto& s : split(value)) {
+          const auto n = need_u64(key, s);
+          if (n == 0 || n > UINT32_MAX)
+            return fail("--n takes cluster sizes >= 1, got '" + s + "'");
+          grid.ns.push_back(static_cast<std::uint32_t>(n));
+        }
       } else if (key == "faults") {
         grid.fault_loads.clear();
         for (const auto& s : split(value)) {
@@ -172,20 +237,22 @@ int main(int argc, char** argv) {
             grid.fault_loads.push_back(runner::SweepGrid::kMaxResilience);
             continue;
           }
-          const long count = std::stol(s);
-          if (count < 0)
+          const auto count = need_u64(key, s);
+          if (count > UINT32_MAX)
             return fail("--faults takes counts >= 0 or 'max', got '" + s + "'");
-          grid.fault_loads.push_back(count);
+          grid.fault_loads.push_back(static_cast<std::int64_t>(count));
         }
       } else if (key == "vartheta") {
         grid.varthetas.clear();
-        for (const auto& s : split(value)) grid.varthetas.push_back(std::stod(s));
+        for (const auto& s : split(value))
+          grid.varthetas.push_back(need_double(key, s));
       } else if (key == "u") {
         grid.us.clear();
-        for (const auto& s : split(value)) grid.us.push_back(std::stod(s));
+        for (const auto& s : split(value)) grid.us.push_back(need_double(key, s));
       } else if (key == "u-tilde" || key == "u_tilde") {
         grid.u_tildes.clear();
-        for (const auto& s : split(value)) grid.u_tildes.push_back(std::stod(s));
+        for (const auto& s : split(value))
+          grid.u_tildes.push_back(need_double(key, s));
       } else if (key == "topology") {
         grid.topologies.clear();
         for (const auto& s : split(value)) {
@@ -205,13 +272,25 @@ int main(int argc, char** argv) {
         // vacuously; fail loudly instead.
         if (grid.relay_faults.empty())
           return fail("--relay-fault needs at least one value");
-      } else if (key == "delays") {
+      } else if (key == "delays" || key == "delay") {
         grid.delays.clear();
+        grid.custom_delays.clear();
         for (const auto& s : split(value)) {
+          if (s.rfind("custom:", 0) == 0) {
+            const auto custom = runner::parse_custom_delay(s);
+            if (!custom)
+              return fail("bad custom delay '" + s +
+                          "' (want custom:fixed:<fraction in [0,1]>, "
+                          "custom:alternate, or custom:target:<node>)");
+            grid.custom_delays.push_back(*custom);
+            continue;
+          }
           const auto dk = runner::parse_delay_kind(s);
           if (!dk) return fail("unknown delay policy '" + s + "'");
           grid.delays.push_back(*dk);
         }
+        if (grid.delays.empty() && grid.custom_delays.empty())
+          return fail("--delays needs at least one value");
       } else if (key == "clocks") {
         grid.clock_kinds.clear();
         for (const auto& s : split(value)) {
@@ -234,19 +313,43 @@ int main(int argc, char** argv) {
         if (grid.strategies.empty())
           grid.strategies = {core::ByzStrategy::kCrash};
       } else if (key == "d") {
-        grid.d = std::stod(value);
+        grid.d = need_double(key, value);
       } else if (key == "rounds") {
-        grid.rounds = std::stoul(value);
+        grid.rounds = static_cast<std::size_t>(need_u64(key, value));
       } else if (key == "warmup") {
-        grid.warmup = std::stoul(value);
+        grid.warmup = static_cast<std::size_t>(need_u64(key, value));
       } else if (key == "slack") {
-        grid.slack = std::stod(value);
+        grid.slack = need_double(key, value);
       } else if (key == "seed") {
-        options.base_seed = std::stoull(value);
+        options.base_seed = need_u64(key, value);
       } else if (key == "threads") {
-        options.threads = static_cast<unsigned>(std::stoul(value));
+        const auto threads = need_u64(key, value);
+        if (threads > 1024)
+          return fail("--threads takes a count <= 1024, got '" + value + "'");
+        options.threads = static_cast<unsigned>(threads);
       } else if (key == "gate") {
-        gate = std::stod(value);
+        gate = need_double(key, value);
+      } else if (key == "gate-trend" || key == "gate_trend") {
+        const double pct = need_double(key, value);
+        if (pct < 0.0)
+          return fail("--gate-trend takes a percentage >= 0, got '" + value +
+                      "'");
+        gate_trend = pct;
+      } else if (key == "budget-ms" || key == "budget_ms") {
+        const double budget = need_double(key, value);
+        if (budget < 0.0)
+          return fail("--budget-ms takes milliseconds >= 0, got '" + value +
+                      "'");
+        options.budget_ms = budget;
+      } else if (key == "resume") {
+        resume_path = value;
+      } else if (key == "checkpoint-every" || key == "checkpoint_every") {
+        const auto every = need_u64(key, value);
+        if (every == 0)
+          return fail("--checkpoint-every takes a row count >= 1");
+        checkpoint_every = static_cast<std::size_t>(every);
+      } else if (key == "history") {
+        history_path = value;
       } else if (key == "format") {
         if (value != "csv" && value != "json" && value != "table")
           return fail("unknown format '" + value + "'");
@@ -256,10 +359,17 @@ int main(int argc, char** argv) {
       } else {
         return fail("unknown option '--" + key + "'");
       }
+    } catch (const FlagError& e) {
+      return fail(e.message);
     } catch (const std::exception&) {
       return fail("bad value for --" + key + ": '" + value + "'");
     }
   }
+
+  if (!resume_path.empty() && (format != "csv" || out_path.empty()))
+    return fail("--resume requires --format=csv and --out=FILE");
+  if (gate_trend && history_path.empty())
+    return fail("--gate-trend requires --history=FILE");
 
   // The flat-world default n axis {4,7,9} makes poor sparse topologies (a
   // hypercube needs a power of two). When every requested world is
@@ -286,40 +396,124 @@ int main(int argc, char** argv) {
   }
   if (specs.empty()) return fail("empty grid");
 
-  const auto report = runner::run_sweep(specs, options);
-
-  std::ofstream file;
-  if (!out_path.empty()) {
-    file.open(out_path);
-    if (!file) return fail("cannot open '" + out_path + "'");
-  }
-  std::ostream& os = out_path.empty() ? std::cout : file;
-  if (format == "csv")
-    runner::write_csv(os, report);
-  else if (format == "json")
-    runner::write_json(os, report);
-  else
-    print_table(os, report);
-
-  // Gates: no errors; fault-free CPS always within the Theorem-17 bound; and
-  // the optional --gate ratio over every world's realized-vs-bound ratio.
-  int status = 0;
-  for (const auto& r : report.results) {
-    if (!r.error.empty()) status = 1;
+  // Streaming accumulators: the gate, the history line, and the fault-free
+  // CPS auto-gate are all computed row by row, so the campaign path never
+  // retains a report.
+  runner::SweepSummary summary;
+  summary.gate_ratio = gate;
+  bool cps_bound_violated = false;
+  auto note = [&](const runner::ScenarioResult& r) {
+    summary.add(r);
     if (r.spec.protocol == baselines::ProtocolKind::kCps && r.feasible &&
         r.spec.world != runner::WorldKind::kTheorem5 && r.spec.f_actual == 0 &&
         r.rounds_completed > 0 && !r.within_bound)
-      status = 1;
+      cps_bound_violated = true;
+  };
+
+  if (!resume_path.empty()) {
+    // Campaign mode: ordered CSV append + checkpoint manifest + resume.
+    std::optional<runner::CsvCampaign> campaign;
+    try {
+      campaign.emplace(
+          runner::CsvCampaign::Options{out_path, resume_path, checkpoint_every,
+                                       options.base_seed},
+          specs, note);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    const std::size_t done = campaign->resume_index();
+    const std::vector<runner::ScenarioSpec> todo(specs.begin() + done,
+                                                 specs.end());
+    try {
+      runner::run_sweep_streamed(todo, options,
+                                 [&](const runner::ScenarioResult& r) {
+                                   campaign->append(r);
+                                   note(r);
+                                 });
+      campaign->finish();
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    std::cerr << "sweep_cli: campaign " << out_path << ": " << done
+              << " row(s) resumed, " << todo.size() << " run\n";
+  } else if (format == "csv") {
+    // Plain CSV streams too — a 10k-cell grid to stdout/file needs no
+    // report either.
+    std::ofstream file;
+    if (!out_path.empty()) {
+      file.open(out_path);
+      if (!file) return fail("cannot open '" + out_path + "'");
+    }
+    std::ostream& os = out_path.empty() ? std::cout : file;
+    os << runner::csv_header() << '\n';
+    runner::run_sweep_streamed(specs, options,
+                               [&](const runner::ScenarioResult& r) {
+                                 runner::write_csv_row(os, r);
+                                 note(r);
+                               });
+    if (!os) return fail("cannot write '" + out_path + "'");
+  } else {
+    // table/json render the whole report; accumulate it.
+    const auto report = runner::run_sweep(specs, options);
+    for (const auto& r : report.results) note(r);
+
+    std::ofstream file;
+    if (!out_path.empty()) {
+      file.open(out_path);
+      if (!file) return fail("cannot open '" + out_path + "'");
+    }
+    std::ostream& os = out_path.empty() ? std::cout : file;
+    if (format == "json")
+      runner::write_json(os, report);
+    else
+      print_table(os, report);
   }
-  if (gate) {
-    const std::size_t tripped = runner::count_gate_violations(report, *gate);
-    if (tripped > 0) {
-      std::cerr << "sweep_cli: --gate=" << *gate << " tripped by " << tripped
-                << " scenario(s)\n";
-      status = 1;
+
+  // Gates: no errors or budget timeouts; fault-free CPS always within the
+  // Theorem-17 bound; the optional --gate ratio over every world's
+  // realized-vs-bound ratio; and the optional --gate-trend regression check
+  // against the recorded history baseline.
+  int status = 0;
+  if (summary.errors > 0 || summary.timed_out > 0) status = 1;
+  if (cps_bound_violated) status = 1;
+  if (gate && summary.gate_violations > 0) {
+    std::cerr << "sweep_cli: --gate=" << *gate << " tripped by "
+              << summary.gate_violations << " scenario(s)\n";
+    status = 1;
+  }
+
+  if (!history_path.empty()) {
+    // The grid digest keys trend comparability: a baseline from a
+    // different grid (or seed) is not a baseline for this run.
+    const auto grid_key = runner::grid_digest(specs, options.base_seed);
+    const auto entry =
+        runner::make_history_entry(summary, options.base_seed, grid_key);
+    try {
+      bool append = true;
+      if (gate_trend) {
+        std::optional<runner::HistoryEntry> baseline;
+        std::ifstream history(history_path);
+        if (history) baseline = runner::load_baseline(history, grid_key);
+        const auto failures =
+            runner::check_trend(baseline, entry, *gate_trend);
+        if (!failures.empty()) {
+          for (const auto& failure : failures)
+            std::cerr << "sweep_cli: --gate-trend=" << *gate_trend
+                      << " failed: " << failure << "\n";
+          // Keep the last good run as the baseline: a regressed run must
+          // not ratchet the bar down for the next one.
+          append = false;
+          status = 1;
+        }
+      }
+      if (append) runner::append_history(history_path, entry);
+    } catch (const std::exception& e) {
+      return fail(e.what());
     }
   }
+
   if (status != 0)
-    std::cerr << "sweep_cli: FAILED (errors, bound violations, or gate)\n";
+    std::cerr
+        << "sweep_cli: FAILED (errors, timeouts, bound violations, or gate)\n";
   return status;
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI smoke for resumable sweep campaigns (registered as the ctest
+# `smoke_sweep_resume`, label `integration`):
+#   1. run a gated sweep straight to a clean CSV (with --history),
+#   2. run the same grid as a campaign, truncate its CSV mid-file,
+#   3. resume with the identical command and diff against the clean CSV,
+#   4. check the trend gate passes against its own baseline and fails
+#      against an injected too-good one.
+# The history file it leaves behind (history.txt) is uploaded as a CI
+# artifact so skew_ratio drift is inspectable across runs.
+#
+# Usage: smoke_sweep_resume.sh <path-to-sweep_cli> <workdir>
+set -euo pipefail
+
+CLI=$1
+DIR=$2
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+GRID=(--world=complete,relay --protocols=cps,st --topology=ring --n=6
+      --faults=0,max --u=0.02 --vartheta=1.002 --rounds=6 --warmup=2
+      --threads=2 --gate=1.0 --format=csv)
+
+echo "== clean run =="
+"$CLI" "${GRID[@]}" --out="$DIR/clean.csv" --history="$DIR/history.txt"
+
+echo "== campaign run =="
+CAMPAIGN=("${GRID[@]}" --out="$DIR/camp.csv" --resume="$DIR/camp.manifest"
+          --checkpoint-every=2 --history="$DIR/history.txt" --gate-trend=5)
+"$CLI" "${CAMPAIGN[@]}"
+
+echo "== truncate mid-file and resume =="
+size=$(wc -c < "$DIR/camp.csv")
+head -c $((size / 2)) "$DIR/camp.csv" > "$DIR/camp.csv.tmp"
+mv "$DIR/camp.csv.tmp" "$DIR/camp.csv"
+"$CLI" "${CAMPAIGN[@]}"
+
+echo "== diff resumed campaign against clean run =="
+diff "$DIR/clean.csv" "$DIR/camp.csv"
+
+echo "== trend gate must fail against an injected too-good baseline =="
+# Trend baselines are keyed by the grid digest the CLI records; reuse the
+# one the real runs wrote so the injected line is comparable.
+grid=$(grep -oE 'grid=[0-9]+' "$DIR/history.txt" | tail -n 1)
+injected="seed=1 $grid cells=1 errors=0 timed_out=0 complete:max=0.000001,mean=0.000001,count=1"
+echo "$injected" >> "$DIR/history.txt"
+if "$CLI" "${GRID[@]}" --out=/dev/null --history="$DIR/history.txt" --gate-trend=5
+then
+  echo "ERROR: trend gate did not trip on an injected regression" >&2
+  exit 1
+fi
+
+# The regressed run must NOT have been appended (the baseline is preserved
+# for the next run to be judged against).
+if [ "$(tail -n 1 "$DIR/history.txt")" != "$injected" ]
+then
+  echo "ERROR: regressed run was appended to the history" >&2
+  exit 1
+fi
+
+# Drop the injected line so the artifact carries only real measurements.
+sed -i '$d' "$DIR/history.txt"
+
+echo "smoke_sweep_resume: OK"

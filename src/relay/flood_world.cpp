@@ -14,7 +14,7 @@
 
 namespace crusader::relay {
 
-RelayEffective compute_effective(const RelayConfig& config) {
+std::uint32_t analyze_worst_hops(const RelayConfig& config) {
   const auto& hop = config.hop_model;
   const std::uint32_t n = config.topology.n();
   CS_CHECK_MSG(hop.n == n, "hop_model.n must match the topology");
@@ -46,20 +46,57 @@ RelayEffective compute_effective(const RelayConfig& config) {
             << " is exact for the configured faulty set but a sampled lower "
                "bound over all fault sets";
   }
+  return worst;
+}
 
+RelayEffective effective_from_hops(const sim::ModelParams& hop,
+                                   std::uint32_t worst_hops) {
   sim::ModelParams eff = hop;
-  const double hops = static_cast<double>(worst);
+  const double hops = static_cast<double>(worst_hops);
   eff.d = hops * hop.d;
   // Balanced delivery: uncertainty = accumulated per-hop uncertainty plus
   // the drift of the destination-side hold (measured on a local clock).
   eff.u = hops * hop.u + (hop.vartheta - 1.0) * hops * hop.d;
   eff.u_tilde = eff.u;
   eff.validate();  // also enforces d_eff > 2 u_eff
-  return RelayEffective{eff, worst};
+  return RelayEffective{eff, worst_hops};
+}
+
+RelayEffective compute_effective(const RelayConfig& config) {
+  return effective_from_hops(config.hop_model, analyze_worst_hops(config));
 }
 
 sim::ModelParams effective_model(const RelayConfig& config) {
   return compute_effective(config).model;
+}
+
+RelayEffective EffectiveCache::get(std::uint64_t key,
+                                   const RelayConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = worst_hops_.find(key);
+    if (it != worst_hops_.end()) {
+      ++hits_;
+      return effective_from_hops(config.hop_model, it->second);
+    }
+  }
+  // Analyze outside the lock: a racing duplicate computes the same value
+  // (analysis is a pure function of the keyed inputs); emplace keeps one.
+  const std::uint32_t worst = analyze_worst_hops(config);
+  std::lock_guard<std::mutex> lock(mu_);
+  worst_hops_.emplace(key, worst);
+  ++misses_;
+  return effective_from_hops(config.hop_model, worst);
+}
+
+std::size_t EffectiveCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t EffectiveCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 /// Env implementation: physical sends become floods; everything else is the
@@ -155,7 +192,9 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
 
   pki_ = std::make_unique<crypto::Pki>(n, config_.pki_kind,
                                        config_.seed ^ 0xf100dULL);
-  hop_policy_ = sim::make_delay_policy(config_.delay_kind, n);
+  hop_policy_ = config_.custom_delay
+                    ? config_.custom_delay()
+                    : sim::make_delay_policy(config_.delay_kind, n);
   trace_ = std::make_unique<sim::PulseTrace>(n, faulty_);
 
   // Clocks: reuse the world conventions.

@@ -26,11 +26,14 @@
 // Protocol nodes run completely unchanged — they just receive the effective
 // ModelParams. This is exactly the paper's translation statement.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/signature.hpp"
@@ -59,6 +62,10 @@ struct RelayConfig {
   /// but delay, reorder, or selectively drop what they forward.
   std::vector<NodeId> faulty;
   RelayFaultKind fault_kind = RelayFaultKind::kCrash;
+  /// Optional custom per-hop delay policy factory (overrides delay_kind) —
+  /// mirrors sim::WorldConfig::custom_delay so every DelayPolicy is
+  /// reachable in relay worlds too.
+  std::function<std::unique_ptr<sim::DelayPolicy>()> custom_delay;
   crypto::Pki::Kind pki_kind = crypto::Pki::Kind::kSymbolic;
 };
 
@@ -95,6 +102,47 @@ struct RelayEffective {
 /// Convenience wrapper around compute_effective for callers that only need
 /// the model.
 [[nodiscard]] sim::ModelParams effective_model(const RelayConfig& config);
+
+/// The expensive half of compute_effective: the (f+1)-connectivity check and
+/// worst-case hop distance D_f (exact within the subset budget, sampled +
+/// exact-for-the-configured-faulty-set beyond). Reads only the topology,
+/// hop_model.{n,f}, and the faulty set — never d/u/ϑ or the fault kind.
+[[nodiscard]] std::uint32_t analyze_worst_hops(const RelayConfig& config);
+
+/// The cheap half: fold D_f into the effective complete-graph model
+/// (d_eff = D_f·d_hop, u_eff = D_f·u_hop + (ϑ−1)·D_f·d_hop). Pure
+/// arithmetic, so compute_effective(c) ≡
+/// effective_from_hops(c.hop_model, analyze_worst_hops(c)) bit-for-bit.
+[[nodiscard]] RelayEffective effective_from_hops(const sim::ModelParams& hop,
+                                                std::uint32_t worst_hops);
+
+/// Thread-safe per-sweep memo for analyze_worst_hops. Keyed by a
+/// caller-provided digest of everything the analysis reads: topology family,
+/// n, f, the instantiated faulty set, and the topology seed for seed-grown
+/// families (the random family MUST fold the seed in — two cells with
+/// different seeds realize different graphs). The relay fault kind is
+/// deliberately NOT part of the key: the analysis is fault-kind-independent,
+/// and sharing D_f across the relay-fault axis is where the ~4× setup cut
+/// comes from. A hit replays the cached D_f through effective_from_hops, so
+/// cached and uncached paths return bit-identical RelayEffective.
+class EffectiveCache {
+ public:
+  /// compute_effective with memoization: `key` must digest exactly the
+  /// analysis inputs above. Two threads racing on the same key may both run
+  /// the analysis (the value is identical; the map keeps one copy) — the
+  /// lock is never held across the expensive BFS walk.
+  [[nodiscard]] RelayEffective get(std::uint64_t key,
+                                   const RelayConfig& config);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::uint32_t> worst_hops_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
 
 class RelayWorld {
  public:

@@ -1,6 +1,5 @@
 #include "runner/export.hpp"
 
-#include <charconv>
 #include <cmath>
 #include <cstddef>
 #include <ostream>
@@ -8,17 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "util/fmt.hpp"
+
 namespace crusader::runner {
 
 namespace {
 
-/// Shortest round-trip representation via std::to_chars: locale-independent
-/// ('.' decimal point, no grouping), identical output for identical bits.
-std::string fmt(double v) {
-  char buf[32];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  return ec == std::errc{} ? std::string(buf, end) : std::string("?");
-}
+using util::fmt_double;
+constexpr auto fmt = fmt_double;
 
 std::string csv_quote(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -84,7 +80,12 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("u", {"", fmt(s.u)});
   add("u_tilde", {"", fmt(s.u_tilde)});
   add("vartheta", {"", fmt(s.vartheta)});
-  add("delay", {"", sim::to_string(s.delay), true});
+  // Custom policies export their spelling (e.g. "custom:target:3") — the
+  // placeholder DelayKind underneath would misattribute the adversary.
+  add("delay", {"",
+                s.custom_delay ? s.custom_delay->spelling()
+                               : sim::to_string(s.delay),
+                true});
   add("clocks", {"", sim::to_string(s.clocks), true});
   // The two fault-behavior columns mirror each other: "-" where the axis
   // does not apply (byz is complete-only, relay_fault is relay-only),
@@ -132,33 +133,77 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("verify_ops", {"", std::to_string(r.verify_ops)});
   add("signatures_carried", {"", std::to_string(r.signatures_carried)});
   add("violations", {"", std::to_string(r.violations)});
+  add("timed_out", {"", r.timed_out ? "1" : "0"});
   add("error", {"", r.error, true});
   return out;
 }
 
 }  // namespace
 
+std::string csv_header() {
+  const auto row = fields(ScenarioResult{});
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    out += row[i].name;
+  }
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const ScenarioResult& result) {
+  const auto row = fields(result);
+  for (std::size_t i = 0; i < row.size(); ++i)
+    os << (i ? "," : "") << csv_quote(row[i].value);
+  os << '\n';
+}
+
 void write_csv(std::ostream& os, const SweepReport& report) {
-  bool header_written = false;
-  for (const auto& r : report.results) {
-    const auto row = fields(r);
-    if (!header_written) {
-      for (std::size_t i = 0; i < row.size(); ++i)
-        os << (i ? "," : "") << row[i].name;
-      os << '\n';
-      header_written = true;
+  os << csv_header() << '\n';
+  for (const auto& r : report.results) write_csv_row(os, r);
+}
+
+std::vector<std::size_t> csv_record_ends(std::string_view content) {
+  std::vector<std::size_t> ends;
+  bool quoted = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '"') {
+      // Escaped quotes ("") toggle twice — net unchanged — so plain state
+      // flipping handles them.
+      quoted = !quoted;
+    } else if (c == '\n' && !quoted) {
+      ends.push_back(i + 1);
     }
-    for (std::size_t i = 0; i < row.size(); ++i)
-      os << (i ? "," : "") << csv_quote(row[i].value);
-    os << '\n';
   }
-  if (!header_written) {
-    // Empty report: still emit the header so the schema is discoverable.
-    const auto row = fields(ScenarioResult{});
-    for (std::size_t i = 0; i < row.size(); ++i)
-      os << (i ? "," : "") << row[i].name;
-    os << '\n';
+  return ends;
+}
+
+std::vector<std::string> parse_csv_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
   }
+  out.push_back(field);
+  return out;
 }
 
 void write_json(std::ostream& os, const SweepReport& report) {

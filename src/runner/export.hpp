@@ -3,16 +3,41 @@
 // locale-independent and stable, so reports from the same sweep compare
 // byte-for-byte regardless of thread count.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "runner/runner.hpp"
 
 namespace crusader::runner {
 
+/// The CSV header line, without trailing newline. Stable for a given build;
+/// campaign resume verifies it so a schema change never splices rows of two
+/// schemas into one file.
+[[nodiscard]] std::string csv_header();
+
+/// One CSV record for `result` (no header), terminated with '\n'. The
+/// streaming building block: csv_header() + write_csv_row() per result ==
+/// write_csv() byte for byte.
+void write_csv_row(std::ostream& os, const ScenarioResult& result);
+
 /// Header + one row per scenario, in spec order. NaN metrics render as
 /// empty cells.
 void write_csv(std::ostream& os, const SweepReport& report);
+
+/// Byte offsets one past the end (i.e. past the '\n') of each complete CSV
+/// record in `content`, header included, respecting quoted fields that embed
+/// newlines. A trailing partial record (no terminating newline, or an
+/// unclosed quote) contributes no offset — which is how campaign resume
+/// finds the last intact row of a killed run's file.
+[[nodiscard]] std::vector<std::size_t> csv_record_ends(
+    std::string_view content);
+
+/// Splits one CSV record (without its trailing newline) into unescaped
+/// fields. Inverse of the quoting write_csv_row applies.
+[[nodiscard]] std::vector<std::string> parse_csv_fields(std::string_view line);
 
 /// JSON array of scenario objects (same fields as the CSV). NaN metrics
 /// render as null.

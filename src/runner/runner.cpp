@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "core/adversaries.hpp"
 #include "lowerbound/theorem5.hpp"
+#include "sim/engine.hpp"
 #include "relay/flood_world.hpp"
 #include "relay/topology.hpp"
 #include "sim/trace.hpp"
@@ -99,6 +104,7 @@ void run_complete_world(const ScenarioSpec& spec, const RunnerOptions& options,
                    static_cast<double>(spec.rounds + 2) * setup.round_length;
   config.clock_kind = spec.clocks;
   config.delay_kind = spec.delay;
+  if (spec.custom_delay) config.custom_delay = spec.custom_delay->factory();
   config.faulty = sim::default_faulty_set(spec.f_actual);
 
   sim::ByzantineFactory byz;
@@ -129,10 +135,30 @@ void run_complete_world(const ScenarioSpec& spec, const RunnerOptions& options,
   }
 }
 
+/// Digest of exactly the inputs relay::analyze_worst_hops reads — topology
+/// family, n, f, the instantiated faulty-set size, and the topology seed for
+/// the seed-grown random family (deterministic families realize the same
+/// graph at every seed, so folding the seed in would kill sharing; the
+/// random family realizes a different graph per seed, so leaving it out
+/// would alias distinct analyses). The relay fault kind is deliberately
+/// absent: the analysis never reads it, and sharing D_f across the
+/// relay-fault axis is the cache's whole point.
+std::uint64_t relay_analysis_key(const ScenarioSpec& spec,
+                                 std::uint64_t seed) noexcept {
+  std::uint64_t h = util::mix64(0x52454C4159ULL ^
+                                static_cast<std::uint64_t>(spec.topology));
+  h = util::mix64(h ^ spec.n);
+  h = util::mix64(h ^ spec.f);
+  h = util::mix64(h ^ spec.f_actual);
+  if (spec.topology == TopologyKind::kRandomConnected)
+    h = util::mix64(h ^ seed);
+  return h;
+}
+
 /// Appendix-A path: flood the protocol over a sparse (f+1)-connected
 /// topology; the bound is Theorem 17 evaluated at the effective model.
 void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
-                     ScenarioResult& result) {
+                     relay::EffectiveCache* cache, ScenarioResult& result) {
   const auto hop_model = spec.model();  // spec.d/u are per-hop here
   hop_model.validate();
 
@@ -142,16 +168,19 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   config.seed = result.seed;
   config.clock_kind = spec.clocks;
   config.delay_kind = spec.delay;
+  if (spec.custom_delay) config.custom_delay = spec.custom_delay->factory();
   // Faulty relays misbehave per the spec's relay-fault axis: crash (drop
   // everything) or the signature-legal Byzantine behaviors — max-delay,
   // reorder, selective-drop (relay/adversary.hpp).
   config.faulty = sim::default_faulty_set(spec.f_actual);
   config.fault_kind = spec.relay_fault;
 
-  // One topology analysis per scenario: the RelayEffective feeds the
-  // feasibility check, the CSV columns, and (passed through) the world's
-  // hold schedule.
-  const auto effective = relay::compute_effective(config);
+  // One topology analysis per scenario (memoized across the sweep when a
+  // cache is supplied): the RelayEffective feeds the feasibility check, the
+  // CSV columns, and (passed through) the world's hold schedule.
+  const auto effective =
+      cache ? cache->get(relay_analysis_key(spec, result.seed), config)
+            : relay::compute_effective(config);
   result.d_eff = effective.model.d;
   result.u_eff = effective.model.u;
   // Alongside d_eff/u_eff (not after the run): infeasible rows must still
@@ -213,15 +242,10 @@ void run_theorem5_world(const ScenarioSpec& spec, ScenarioResult& result) {
   }
 }
 
-}  // namespace
-
-std::uint64_t scenario_seed(const ScenarioSpec& spec,
-                            std::uint64_t base_seed) noexcept {
-  return util::Rng(base_seed).fork(spec.key()).next_u64();
-}
-
-ScenarioResult run_scenario(const ScenarioSpec& spec,
-                            const RunnerOptions& options) {
+/// run_scenario with an optional sweep-scoped relay analysis cache.
+ScenarioResult run_scenario_cached(const ScenarioSpec& spec,
+                                   const RunnerOptions& options,
+                                   relay::EffectiveCache* cache) {
   ScenarioResult result;
   result.spec = spec;
   result.seed = scenario_seed(spec, options.base_seed);
@@ -237,12 +261,27 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   result.u_eff = kNan;
 
   try {
+    // A targeted custom delay aimed past the cluster would silently
+    // degenerate to the all-minimum policy (no receiver ever matches);
+    // error the cell instead so the adversary the row claims is the one
+    // that actually ran.
+    if (spec.custom_delay &&
+        spec.custom_delay->kind == CustomDelaySpec::Kind::kTarget)
+      CS_CHECK_MSG(spec.custom_delay->target < spec.n,
+                   "custom:target node " << spec.custom_delay->target
+                                         << " is out of range for n="
+                                         << spec.n);
+    // Arms this thread's wall-clock budget for the duration of the world
+    // run; every engine the world builds (including the Theorem-5 triple
+    // execution's) checks it.
+    std::optional<sim::WallBudget> budget;
+    if (options.budget_ms > 0.0) budget.emplace(options.budget_ms);
     switch (spec.world) {
       case WorldKind::kComplete:
         run_complete_world(spec, options, result);
         break;
       case WorldKind::kRelay:
-        run_relay_world(spec, options, result);
+        run_relay_world(spec, options, cache, result);
         break;
       case WorldKind::kTheorem5:
         run_theorem5_world(spec, result);
@@ -251,6 +290,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     if (result.rounds_completed > 0 && std::isfinite(result.max_skew) &&
         std::isfinite(result.predicted_skew) && result.predicted_skew > 0.0)
       result.skew_ratio = result.max_skew / result.predicted_skew;
+  } catch (const sim::BudgetExceeded&) {
+    // Everything the aborted run measured is discarded, so the row's
+    // content does not depend on where the budget happened to trip.
+    result.timed_out = true;
   } catch (const std::exception& e) {
     result.error = e.what();
   } catch (...) {
@@ -259,10 +302,25 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   return result;
 }
 
-SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
-                      const RunnerOptions& options) {
-  SweepReport report;
-  report.results.resize(specs.size());
+}  // namespace
+
+std::uint64_t scenario_seed(const ScenarioSpec& spec,
+                            std::uint64_t base_seed) noexcept {
+  return util::Rng(base_seed).fork(spec.key()).next_u64();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunnerOptions& options) {
+  return run_scenario_cached(spec, options, options.shared_relay_cache);
+}
+
+void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
+                        const RunnerOptions& options, const ResultSink& sink) {
+  // One relay-analysis memo per sweep (scenario seeds and results are
+  // unaffected — the cache only short-circuits a pure function).
+  std::optional<relay::EffectiveCache> owned_cache;
+  relay::EffectiveCache* cache = options.shared_relay_cache;
+  if (cache == nullptr && options.relay_cache) cache = &owned_cache.emplace();
 
   unsigned threads = options.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -270,41 +328,109 @@ SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
       std::min<std::size_t>(threads, std::max<std::size_t>(specs.size(), 1)));
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i)
-      report.results[i] = run_scenario(specs[i], options);
-    return report;
+    for (const auto& spec : specs)
+      sink(run_scenario_cached(spec, options, cache));
+    return;
   }
 
-  // Work stealing via a shared index: scenario i's result slot is i, so the
-  // output order (and content — seeds come from spec digests, not schedule)
-  // is independent of which worker picks it up.
+  // Work stealing via a shared index plus an ordered flush: scenario i's
+  // seed comes from its spec digest (not the schedule), and completed
+  // results wait in a bounded reorder window until every earlier index has
+  // flushed — so the sink sees the exact single-thread sequence while memory
+  // stays O(threads).
   std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable window_open;
+  std::map<std::size_t, ScenarioResult> pending;
+  std::size_t next_flush = 0;
+  std::exception_ptr failure;
+  const std::size_t window = 2 * static_cast<std::size_t>(threads) + 8;
+
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;
-      report.results[i] = run_scenario(specs[i], options);
+      auto result = run_scenario_cached(specs[i], options, cache);
+
+      std::unique_lock<std::mutex> lock(mu);
+      window_open.wait(lock, [&] {
+        return failure != nullptr || i < next_flush + window;
+      });
+      if (failure != nullptr) return;  // sweep aborted: drop the result
+      pending.emplace(i, std::move(result));
+      while (!pending.empty() && pending.begin()->first == next_flush) {
+        // Sink runs under the lock: serialized, strictly ordered.
+        try {
+          sink(pending.begin()->second);
+        } catch (...) {
+          failure = std::current_exception();
+          next.store(specs.size(), std::memory_order_relaxed);
+          window_open.notify_all();
+          return;
+        }
+        pending.erase(pending.begin());
+        ++next_flush;
+        window_open.notify_all();
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
+                      const RunnerOptions& options) {
+  SweepReport report;
+  report.results.reserve(specs.size());
+  run_sweep_streamed(specs, options, [&](const ScenarioResult& result) {
+    report.results.push_back(result);
+  });
   return report;
+}
+
+bool violates_gate(const ScenarioResult& result, double max_ratio) {
+  // A cell that crashed or ran out of budget did not demonstrate anything —
+  // a green gate must mean every cell actually ran.
+  if (!result.error.empty() || result.timed_out) return true;
+  if (!result.feasible || result.rounds_completed == 0) return false;
+  if (result.spec.world == WorldKind::kTheorem5) return !result.within_bound;
+  return std::isfinite(result.skew_ratio) && result.skew_ratio > max_ratio;
 }
 
 std::size_t count_gate_violations(const SweepReport& report,
                                   double max_ratio) {
   std::size_t count = 0;
-  for (const auto& r : report.results) {
-    if (!r.error.empty() || !r.feasible || r.rounds_completed == 0) continue;
-    if (r.spec.world == WorldKind::kTheorem5) {
-      if (!r.within_bound) ++count;
-    } else if (std::isfinite(r.skew_ratio) && r.skew_ratio > max_ratio) {
-      ++count;
-    }
-  }
+  for (const auto& r : report.results)
+    if (violates_gate(r, max_ratio)) ++count;
   return count;
+}
+
+void SweepSummary::add(const ScenarioResult& result) {
+  ++scenarios;
+  if (gate_ratio && violates_gate(result, *gate_ratio)) ++gate_violations;
+  if (result.timed_out) ++timed_out;
+  if (!result.error.empty()) {
+    ++errors;
+    return;
+  }
+  if (result.timed_out) return;
+  if (!result.feasible) {
+    ++infeasible;
+    return;
+  }
+  auto& world = [&]() -> WorldStats& {
+    for (auto& w : worlds)
+      if (w.world == result.spec.world) return w;
+    worlds.emplace_back();
+    worlds.back().world = result.spec.world;
+    return worlds.back();
+  }();
+  if (std::isfinite(result.skew_ratio)) world.ratio.add(result.skew_ratio);
+  if (result.rounds_completed > 0 && !result.within_bound)
+    ++world.bound_misses;
 }
 
 std::vector<ProtocolSummary> SweepReport::by_protocol() const {
@@ -321,6 +447,10 @@ std::vector<ProtocolSummary> SweepReport::by_protocol() const {
     ++s.scenarios;
     if (!r.error.empty()) {
       ++s.errors;
+      continue;
+    }
+    if (r.timed_out) {
+      ++s.timed_out;
       continue;
     }
     if (!r.feasible) {

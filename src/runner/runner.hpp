@@ -7,11 +7,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "runner/scenario.hpp"
 #include "util/stats.hpp"
+
+namespace crusader::relay {
+class EffectiveCache;
+}  // namespace crusader::relay
 
 namespace crusader::runner {
 
@@ -24,6 +30,18 @@ struct RunnerOptions {
   /// Absolute tolerance when checking measured skew against the theoretical
   /// bound (floating-point headroom, not a semantic slack).
   double bound_tolerance = 1e-9;
+  /// Per-scenario wall-clock budget in milliseconds; 0 = unlimited. A
+  /// scenario that exhausts it is aborted mid-run and reported with
+  /// timed_out = true (metrics NaN) instead of hanging the sweep.
+  double budget_ms = 0.0;
+  /// Memoize the relay worlds' topology analysis (connectivity + worst-case
+  /// hop distance) across the sweep — cells sharing (topology family, n, f,
+  /// faulty set, topology seed) reuse one BFS walk, which is the ~4× setup
+  /// cut on relay-fault axes. Off = recompute per scenario (bench baseline).
+  bool relay_cache = true;
+  /// Externally-owned cache (share across sweeps, inspect hit counts);
+  /// overrides relay_cache when set. Not owned.
+  relay::EffectiveCache* shared_relay_cache = nullptr;
 };
 
 /// Everything measured for one scenario. Doubles are NaN when the scenario
@@ -63,6 +81,10 @@ struct ScenarioResult {
   std::uint64_t verify_ops = 0;
   std::uint64_t signatures_carried = 0;
   std::size_t violations = 0;
+  /// The scenario exhausted RunnerOptions::budget_ms and was aborted
+  /// mid-run; metrics are NaN and error stays empty (a budget abort is a
+  /// scheduling outcome, not a world failure) but the gate counts it.
+  bool timed_out = false;
   /// Non-empty when the world threw (the sweep keeps going).
   std::string error;
 };
@@ -73,6 +95,7 @@ struct ProtocolSummary {
   std::size_t scenarios = 0;
   std::size_t infeasible = 0;
   std::size_t errors = 0;
+  std::size_t timed_out = 0;         ///< aborted by the wall-clock budget
   std::size_t bound_violations = 0;  ///< feasible, ran, and exceeded bound
   util::OnlineStats steady_skew;     ///< over feasible error-free scenarios
   util::OnlineStats messages;
@@ -95,16 +118,62 @@ struct SweepReport {
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
                                           const RunnerOptions& options = {});
 
-/// Run every spec, farming scenarios out to `options.threads` workers.
+/// Streaming result consumer: invoked exactly once per spec, in spec order,
+/// never concurrently (calls are serialized under the runner's flush lock).
+using ResultSink = std::function<void(const ScenarioResult&)>;
+
+/// Run every spec, farming scenarios out to `options.threads` workers, and
+/// stream each result through `sink` in spec order as soon as it (and every
+/// earlier spec) has completed. Memory stays O(threads): out-of-order
+/// completions wait in a bounded reorder window and workers block when it
+/// fills, so a 10k-scenario campaign never accumulates its report. A sink
+/// exception aborts the sweep (no further scenarios start) and is rethrown
+/// on the calling thread.
+void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
+                        const RunnerOptions& options, const ResultSink& sink);
+
+/// Run every spec and accumulate the full report (run_sweep_streamed with an
+/// accumulating sink — fine for grids that fit in memory).
 [[nodiscard]] SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
                                     const RunnerOptions& options = {});
 
-/// Regression-gate predicate: counts feasible, completed scenarios whose
-/// realized-vs-bound ratio is out of spec — skew_ratio > max_ratio for
-/// upper-bound worlds, bound not realized (within_bound == false) for
-/// kTheorem5. Errored/infeasible rows are not the gate's business (the
-/// error-count gate covers those).
+/// Regression-gate predicate for one row: errored and timed-out scenarios
+/// always violate (a green gate means every cell actually ran); infeasible
+/// rows never do (the protocol provably cannot run there); completed rows
+/// violate when their realized-vs-bound ratio is out of spec — skew_ratio >
+/// max_ratio for upper-bound worlds, bound not realized (within_bound ==
+/// false) for kTheorem5.
+[[nodiscard]] bool violates_gate(const ScenarioResult& result,
+                                 double max_ratio);
+
+/// violates_gate summed over a report.
 [[nodiscard]] std::size_t count_gate_violations(const SweepReport& report,
                                                 double max_ratio);
+
+/// Streaming cross-scenario aggregate for the gate, the history file, and
+/// the trend check: per-world skew_ratio stats plus failure counters,
+/// accumulable one result at a time so large campaigns never retain rows.
+struct SweepSummary {
+  /// When set, add() also counts violates_gate(result, *gate_ratio).
+  std::optional<double> gate_ratio;
+
+  std::size_t scenarios = 0;
+  std::size_t errors = 0;
+  std::size_t timed_out = 0;
+  std::size_t infeasible = 0;
+  std::size_t gate_violations = 0;
+
+  struct WorldStats {
+    WorldKind world = WorldKind::kComplete;
+    /// Over rows with a finite skew_ratio (completed, bound defined).
+    util::OnlineStats ratio;
+    /// Completed rows whose within_bound check failed.
+    std::size_t bound_misses = 0;
+  };
+  /// Ordered by first appearance — deterministic for a fixed spec order.
+  std::vector<WorldStats> worlds;
+
+  void add(const ScenarioResult& result);
+};
 
 }  // namespace crusader::runner

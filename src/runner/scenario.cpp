@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <charconv>
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "util/fmt.hpp"
 #include "util/rng.hpp"
 
 namespace crusader::runner {
@@ -97,6 +102,86 @@ std::optional<relay::RelayFaultKind> parse_relay_fault(std::string_view s) {
   return std::nullopt;
 }
 
+std::string CustomDelaySpec::spelling() const {
+  switch (kind) {
+    case Kind::kAlternate:
+      return "custom:alternate";
+    case Kind::kTarget:
+      return "custom:target:" + std::to_string(target);
+    case Kind::kFixed:
+      // Shortest round-trip float formatting keeps the spelling stable
+      // across locales (it is a CSV value and must parse back).
+      return "custom:fixed:" + util::fmt_double(fraction);
+  }
+  return "custom:?";
+}
+
+std::function<std::unique_ptr<sim::DelayPolicy>()> CustomDelaySpec::factory()
+    const {
+  switch (kind) {
+    case Kind::kAlternate:
+      return [] {
+        return std::make_unique<sim::AlternatingDelayPolicy>();
+      };
+    case Kind::kTarget:
+      return [target = target] {
+        return std::make_unique<sim::TargetedDelayPolicy>(target);
+      };
+    case Kind::kFixed:
+      break;
+  }
+  return [fraction = fraction] {
+    return std::make_unique<sim::FixedFractionDelayPolicy>(fraction);
+  };
+}
+
+std::optional<CustomDelaySpec> parse_custom_delay(std::string_view s) {
+  constexpr std::string_view kPrefix = "custom:";
+  if (s.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::string_view body = s.substr(kPrefix.size());
+
+  CustomDelaySpec spec;
+  if (body == "alternate") {
+    spec.kind = CustomDelaySpec::Kind::kAlternate;
+    return spec;
+  }
+  constexpr std::string_view kFixed = "fixed:";
+  if (body.substr(0, kFixed.size()) == kFixed) {
+    const auto fraction = parse_double_strict(body.substr(kFixed.size()));
+    if (!fraction || *fraction < 0.0 || *fraction > 1.0) return std::nullopt;
+    spec.kind = CustomDelaySpec::Kind::kFixed;
+    spec.fraction = *fraction;
+    return spec;
+  }
+  constexpr std::string_view kTarget = "target:";
+  if (body.substr(0, kTarget.size()) == kTarget) {
+    const auto target = parse_u64_strict(body.substr(kTarget.size()));
+    if (!target || *target > UINT32_MAX) return std::nullopt;
+    spec.kind = CustomDelaySpec::Kind::kTarget;
+    spec.target = static_cast<std::uint32_t>(*target);
+    return spec;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> parse_double_strict(std::string_view s) {
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || end != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;  // reject "inf"/"nan"
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_strict(std::string_view s) {
+  // from_chars on unsigned already rejects '-', but be explicit about '+'
+  // too: flags spell plain digits or they are malformed.
+  if (s.empty() || s.front() == '+' || s.front() == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || end != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
 std::optional<core::ByzStrategy> parse_byz_strategy(std::string_view s) {
   if (s == "crash") return core::ByzStrategy::kCrash;
   if (s == "echo-rush") return core::ByzStrategy::kEchoRush;
@@ -131,7 +216,8 @@ std::string ScenarioSpec::name() const {
   if (u_tilde != u) os << " ut=" << u_tilde;
   if (d != 1.0) os << " d=" << d;
   if (world != WorldKind::kTheorem5) {
-    os << " delay=" << sim::to_string(delay);
+    os << " delay="
+       << (custom_delay ? custom_delay->spelling() : sim::to_string(delay));
     if (clocks != sim::ClockKind::kSpread)
       os << " clocks=" << sim::to_string(clocks);
   }
@@ -158,6 +244,15 @@ std::uint64_t ScenarioSpec::key() const noexcept {
   h = fold(h, u_tilde);
   h = fold(h, vartheta);
   h = fold(h, static_cast<std::uint64_t>(delay));
+  // Absent folds differently from every present kind (offset by 1) so adding
+  // a custom delay to a spec always forks its seed.
+  h = fold(h, custom_delay
+                  ? 1 + static_cast<std::uint64_t>(custom_delay->kind)
+                  : 0);
+  if (custom_delay) {
+    h = fold(h, custom_delay->fraction);
+    h = fold(h, static_cast<std::uint64_t>(custom_delay->target));
+  }
   h = fold(h, static_cast<std::uint64_t>(clocks));
   h = fold(h, static_cast<std::uint64_t>(strategy));
   h = fold(h, static_cast<std::uint64_t>(relay_fault));
@@ -220,14 +315,25 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   const std::vector<double> ut_axis =
       u_tildes.empty() ? std::vector<double>{-1.0} : u_tildes;
 
+  // The delay axis is DelayKind values followed by custom policies; one
+  // struct keeps the expansion loop uniform.
+  struct DelayPoint {
+    sim::DelayKind kind = sim::DelayKind::kRandom;
+    std::optional<CustomDelaySpec> custom;
+  };
+  std::vector<DelayPoint> delay_axis;
+  for (const auto kind : delays) delay_axis.push_back({kind, std::nullopt});
+  for (const auto& custom : custom_delays)
+    delay_axis.push_back({sim::DelayKind::kRandom, custom});
+
   for (const auto world : worlds) {
     const bool relay = world == WorldKind::kRelay;
     const bool thm5 = world == WorldKind::kTheorem5;
     // kTheorem5 pins the construction shape regardless of the n axis.
     const std::vector<std::uint32_t> world_ns =
         thm5 ? std::vector<std::uint32_t>{3} : ns;
-    const std::vector<sim::DelayKind> world_delays =
-        thm5 ? std::vector<sim::DelayKind>{sim::DelayKind::kRandom} : delays;
+    const std::vector<DelayPoint> world_delays =
+        thm5 ? std::vector<DelayPoint>{DelayPoint{}} : delay_axis;
     const std::vector<sim::ClockKind> world_clocks =
         thm5 ? std::vector<sim::ClockKind>{sim::ClockKind::kSpread}
              : clock_kinds;
@@ -280,7 +386,8 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                       spec.u_tilde =
                           ut < 0.0 ? u : std::min(std::max(ut, u), d);
                       spec.vartheta = vartheta;
-                      spec.delay = delay;
+                      spec.delay = delay.kind;
+                      spec.custom_delay = delay.custom;
                       spec.clocks = clock;
                       spec.rounds = rounds;
                       spec.warmup = warmup;

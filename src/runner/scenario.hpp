@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -69,6 +71,41 @@ enum class TopologyKind {
 [[nodiscard]] std::optional<relay::RelayFaultKind> parse_relay_fault(
     std::string_view s);
 
+/// CLI spelling for WorldConfig::custom_delay / RelayConfig::custom_delay —
+/// the delay policies that have no DelayKind enumerator:
+///   "custom:fixed:<fraction>"  every delay at lo + fraction·(hi − lo),
+///                              fraction ∈ [0, 1]
+///   "custom:alternate"         alternate min/max per message
+///   "custom:target:<node>"     one receiver at max delay, the rest at min
+///                              (SecureTime-style targeted delay)
+/// A parsed spec is a value (digestable, printable, comparable); factory()
+/// builds the policy factory the world configs consume.
+struct CustomDelaySpec {
+  enum class Kind { kFixed, kAlternate, kTarget };
+  Kind kind = Kind::kFixed;
+  double fraction = 0.5;      ///< kFixed only
+  std::uint32_t target = 0;   ///< kTarget only
+
+  [[nodiscard]] std::string spelling() const;
+  [[nodiscard]] std::function<std::unique_ptr<sim::DelayPolicy>()> factory()
+      const;
+  [[nodiscard]] bool operator==(const CustomDelaySpec&) const = default;
+};
+
+/// Parses the "custom:..." spellings above; nullopt for anything else
+/// (unknown policy name, missing/garbage/out-of-range parameter).
+[[nodiscard]] std::optional<CustomDelaySpec> parse_custom_delay(
+    std::string_view s);
+
+// Strict full-string numeric parses for CLI flags: unlike bare std::stod /
+// std::stoul they reject empty strings, trailing garbage ("1.5x"), signs on
+// unsigned targets ("-3" silently wraps through stoul), inf/nan, and
+// overflow — returning nullopt instead of throwing or half-parsing, so the
+// CLI can exit 2 naming the offending flag.
+[[nodiscard]] std::optional<double> parse_double_strict(std::string_view s);
+[[nodiscard]] std::optional<std::uint64_t> parse_u64_strict(
+    std::string_view s);
+
 /// One fully-specified simulation scenario. Everything influencing the run is
 /// in here (plus the sweep's base seed) — two equal specs produce bitwise
 /// identical results.
@@ -95,6 +132,9 @@ struct ScenarioSpec {
   /// (f+1)-connected graph from the scenario's seed.
   TopologyKind topology = TopologyKind::kComplete;
   sim::DelayKind delay = sim::DelayKind::kRandom;
+  /// When set, overrides `delay` with the custom policy it describes (the
+  /// CLI's "--delays=custom:..." axis values).
+  std::optional<CustomDelaySpec> custom_delay;
   sim::ClockKind clocks = sim::ClockKind::kSpread;
   /// Byzantine behavior; only consulted when f_actual > 0 (kComplete only).
   core::ByzStrategy strategy = core::ByzStrategy::kCrash;
@@ -156,6 +196,9 @@ struct SweepGrid {
   /// expanded spec satisfies the model's ũ ∈ [u, d] requirement.
   std::vector<double> u_tildes{};
   std::vector<sim::DelayKind> delays{sim::DelayKind::kRandom};
+  /// Custom delay policies appended to the delay axis after the DelayKind
+  /// values (kTheorem5 collapses them like the rest of the delay axis).
+  std::vector<CustomDelaySpec> custom_delays{};
   std::vector<sim::ClockKind> clock_kinds{sim::ClockKind::kSpread};
   std::vector<TopologyKind> topologies{TopologyKind::kComplete};
   std::vector<core::ByzStrategy> strategies{core::ByzStrategy::kCrash};

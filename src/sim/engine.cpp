@@ -7,6 +7,41 @@
 
 namespace crusader::sim {
 
+namespace {
+
+// Armed/deadline pair for the calling thread (see WallBudget). Split into
+// two variables so the hot-path expired() check is one bool read when no
+// budget is armed.
+thread_local bool t_budget_armed = false;
+thread_local std::chrono::steady_clock::time_point t_budget_deadline{};
+
+/// Clock-read stride: checking steady_clock every event would dominate the
+/// per-event cost; every 256th event bounds the overrun to microseconds.
+constexpr std::uint32_t kBudgetStride = 256;
+
+}  // namespace
+
+WallBudget::WallBudget(double budget_ms)
+    : prev_deadline_(t_budget_deadline), prev_armed_(t_budget_armed) {
+  CS_CHECK_MSG(budget_ms > 0.0, "wall budget must be positive, got "
+                                    << budget_ms << " ms");
+  t_budget_armed = true;
+  t_budget_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(budget_ms));
+}
+
+WallBudget::~WallBudget() {
+  t_budget_deadline = prev_deadline_;
+  t_budget_armed = prev_armed_;
+}
+
+bool WallBudget::expired() {
+  return t_budget_armed &&
+         std::chrono::steady_clock::now() >= t_budget_deadline;
+}
+
 EventId Engine::at(double t, EventFn fn) {
   return queue_.schedule(std::max(t, now_), std::move(fn));
 }
@@ -17,7 +52,12 @@ EventId Engine::after(double dt, EventFn fn) {
 }
 
 void Engine::run_until(double horizon) {
+  std::uint32_t until_check = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon) {
+    // Checked on the first iteration (so a tiny budget trips even a short
+    // run) and every kBudgetStride events after.
+    if ((until_check++ % kBudgetStride) == 0 && WallBudget::expired())
+      throw BudgetExceeded{};
     const double t = queue_.next_time();
     CS_CHECK_MSG(t >= now_, "time went backwards: " << t << " < " << now_);
     now_ = t;
@@ -28,6 +68,7 @@ void Engine::run_until(double horizon) {
 }
 
 bool Engine::step() {
+  if (WallBudget::expired()) throw BudgetExceeded{};
   if (queue_.empty()) return false;
   now_ = queue_.next_time();
   queue_.pop_and_run();

@@ -1,11 +1,46 @@
 #pragma once
 // The simulation engine: owns the event queue and the notion of "now".
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 
 #include "sim/event_queue.hpp"
 
 namespace crusader::sim {
+
+/// Thrown out of Engine::run_until / Engine::step when the calling thread's
+/// WallBudget is exhausted mid-run. Sweep runners catch it and report the
+/// scenario as timed out instead of letting one pathological cell hang a
+/// 10k-scenario campaign.
+struct BudgetExceeded : std::runtime_error {
+  BudgetExceeded() : std::runtime_error("scenario wall-clock budget exceeded") {}
+};
+
+/// RAII per-thread wall-clock budget. While an instance is alive, every
+/// Engine run loop on the constructing thread periodically compares
+/// steady_clock against the deadline and throws BudgetExceeded once it has
+/// passed. Thread-local by design: worker threads of a sweep pool each arm
+/// their own budget without any shared state, and worlds that build several
+/// engines internally (e.g. the Theorem-5 triple execution) are covered
+/// without plumbing a deadline through every config. Nesting restores the
+/// outer budget on destruction.
+class WallBudget {
+ public:
+  explicit WallBudget(double budget_ms);
+  ~WallBudget();
+
+  WallBudget(const WallBudget&) = delete;
+  WallBudget& operator=(const WallBudget&) = delete;
+
+  /// True when the calling thread has an armed budget whose deadline has
+  /// passed. Cheap when no budget is armed (one thread-local bool read).
+  [[nodiscard]] static bool expired();
+
+ private:
+  std::chrono::steady_clock::time_point prev_deadline_;
+  bool prev_armed_;
+};
 
 class Engine {
  public:

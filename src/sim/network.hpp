@@ -80,6 +80,52 @@ class SplitDelayPolicy final : public DelayPolicy {
   std::uint32_t half_;
 };
 
+/// Every delay at lo + fraction·(hi − lo): a dial between the min and max
+/// adversaries (CLI spelling "custom:fixed:<fraction>").
+class FixedFractionDelayPolicy final : public DelayPolicy {
+ public:
+  explicit FixedFractionDelayPolicy(double fraction) : fraction_(fraction) {}
+  double delay(NodeId, NodeId, double, const Message&, double lo, double hi,
+               util::Rng&) override {
+    return lo + fraction_ * (hi - lo);
+  }
+  [[nodiscard]] std::string name() const override { return "custom:fixed"; }
+
+ private:
+  double fraction_;
+};
+
+/// Alternates min/max delay per message sent — maximal per-message jitter
+/// without randomness (CLI spelling "custom:alternate").
+class AlternatingDelayPolicy final : public DelayPolicy {
+ public:
+  double delay(NodeId, NodeId, double, const Message&, double lo, double hi,
+               util::Rng&) override {
+    flip_ = !flip_;
+    return flip_ ? lo : hi;
+  }
+  [[nodiscard]] std::string name() const override { return "custom:alternate"; }
+
+ private:
+  bool flip_ = false;
+};
+
+/// One victim receiver gets every message at maximum delay while everyone
+/// else gets minimum — the SecureTime-style targeted-delay adversary that
+/// isolates a single node's view (CLI spelling "custom:target:<node>").
+class TargetedDelayPolicy final : public DelayPolicy {
+ public:
+  explicit TargetedDelayPolicy(NodeId target) : target_(target) {}
+  double delay(NodeId, NodeId to, double, const Message&, double lo, double hi,
+               util::Rng&) override {
+    return to == target_ ? hi : lo;
+  }
+  [[nodiscard]] std::string name() const override { return "custom:target"; }
+
+ private:
+  NodeId target_;
+};
+
 enum class DelayKind { kMax, kMin, kRandom, kSplit };
 
 [[nodiscard]] const char* to_string(DelayKind kind);

@@ -1,0 +1,20 @@
+#pragma once
+// Shortest round-trip double formatting, shared by every writer that feeds
+// the determinism guarantees (CSV export, history lines, custom-delay
+// spellings): locale-independent ('.' decimal point, no grouping), and
+// byte-identical output for identical bits. One definition so the formats
+// can never drift apart across files.
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+namespace crusader::util {
+
+[[nodiscard]] inline std::string fmt_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("?");
+}
+
+}  // namespace crusader::util

@@ -396,6 +396,122 @@ TEST(Cli, ParsersRejectUnknownSpellings) {
   EXPECT_FALSE(parse_byz_strategy("st-accel").has_value());  // flag, not enum
 }
 
+TEST(Cli, CustomDelaySpellingsRoundTrip) {
+  // Every accepted spelling parses, and the parsed spec prints itself back.
+  const auto fixed = parse_custom_delay("custom:fixed:0.25");
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_EQ(fixed->kind, CustomDelaySpec::Kind::kFixed);
+  EXPECT_EQ(fixed->fraction, 0.25);
+  EXPECT_EQ(fixed->spelling(), "custom:fixed:0.25");
+  ASSERT_TRUE(parse_custom_delay(fixed->spelling()).has_value());
+
+  const auto alternate = parse_custom_delay("custom:alternate");
+  ASSERT_TRUE(alternate.has_value());
+  EXPECT_EQ(alternate->kind, CustomDelaySpec::Kind::kAlternate);
+  EXPECT_EQ(alternate->spelling(), "custom:alternate");
+
+  const auto target = parse_custom_delay("custom:target:3");
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->kind, CustomDelaySpec::Kind::kTarget);
+  EXPECT_EQ(target->target, 3u);
+  EXPECT_EQ(target->spelling(), "custom:target:3");
+
+  // The factory builds a live policy honoring the spec.
+  util::Rng rng(1);
+  sim::Message m{};
+  auto policy = fixed->factory()();
+  EXPECT_DOUBLE_EQ(policy->delay(0, 1, 0.0, m, 1.0, 2.0, rng), 1.25);
+  auto targeted = target->factory()();
+  EXPECT_DOUBLE_EQ(targeted->delay(0, 3, 0.0, m, 1.0, 2.0, rng), 2.0);
+  EXPECT_DOUBLE_EQ(targeted->delay(0, 1, 0.0, m, 1.0, 2.0, rng), 1.0);
+}
+
+TEST(Cli, CustomDelayRejectsMalformedSpellings) {
+  EXPECT_FALSE(parse_custom_delay("fixed:0.25").has_value());  // no custom:
+  EXPECT_FALSE(parse_custom_delay("custom:").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:fixed").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:fixed:").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:fixed:abc").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:fixed:0.5x").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:fixed:1.5").has_value());   // > 1
+  EXPECT_FALSE(parse_custom_delay("custom:fixed:-0.1").has_value());  // < 0
+  EXPECT_FALSE(parse_custom_delay("custom:alternate:1").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:target").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:target:").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:target:-1").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:target:x").has_value());
+  EXPECT_FALSE(parse_custom_delay("custom:jitter").has_value());
+}
+
+TEST(Cli, StrictNumericParsers) {
+  // The CLI's numeric flags must reject what bare std::stod/std::stoul
+  // accept: partial parses, wrapped negatives, inf/nan, and empties.
+  EXPECT_EQ(parse_double_strict("1.5"), 1.5);
+  EXPECT_EQ(parse_double_strict("-0.5"), -0.5);
+  EXPECT_EQ(parse_double_strict("1e-3"), 1e-3);
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict("abc").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5x").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5 ").has_value());
+  EXPECT_FALSE(parse_double_strict("inf").has_value());
+  EXPECT_FALSE(parse_double_strict("nan").has_value());
+
+  EXPECT_EQ(parse_u64_strict("42"), 42u);
+  EXPECT_EQ(parse_u64_strict("0"), 0u);
+  EXPECT_FALSE(parse_u64_strict("").has_value());
+  EXPECT_FALSE(parse_u64_strict("-3").has_value());  // stoul would wrap this
+  EXPECT_FALSE(parse_u64_strict("+3").has_value());
+  EXPECT_FALSE(parse_u64_strict("3.5").has_value());
+  EXPECT_FALSE(parse_u64_strict("12,3").has_value());
+  EXPECT_FALSE(parse_u64_strict("99999999999999999999999").has_value());
+}
+
+TEST(Scenario, CustomDelayAxisExpandsAndForksSeeds) {
+  SweepGrid grid = small_grid();
+  grid.protocols = {baselines::ProtocolKind::kCps};
+  grid.ns = {4};
+  grid.fault_loads = {0};
+  grid.delays = {sim::DelayKind::kRandom};
+  grid.custom_delays = {
+      *parse_custom_delay("custom:fixed:0.25"),
+      *parse_custom_delay("custom:alternate"),
+  };
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 3u);  // random + 2 customs
+  EXPECT_FALSE(specs[0].custom_delay.has_value());
+  ASSERT_TRUE(specs[1].custom_delay.has_value());
+  EXPECT_EQ(specs[1].custom_delay->kind, CustomDelaySpec::Kind::kFixed);
+  ASSERT_TRUE(specs[2].custom_delay.has_value());
+  EXPECT_EQ(specs[2].custom_delay->kind, CustomDelaySpec::Kind::kAlternate);
+
+  // Digests (hence seeds) fork on the custom axis, including its params.
+  std::set<std::uint64_t> keys;
+  for (const auto& spec : specs) keys.insert(spec.key());
+  EXPECT_EQ(keys.size(), specs.size());
+  ScenarioSpec half = specs[1];
+  half.custom_delay->fraction = 0.5;
+  EXPECT_NE(half.key(), specs[1].key());
+
+  // The spec names (CSV keys) carry the spelling, and so does the CSV's
+  // delay column — the placeholder DelayKind underneath must never leak
+  // and misattribute the adversary.
+  EXPECT_NE(specs[1].name().find("delay=custom:fixed:0.25"),
+            std::string::npos);
+  {
+    SweepReport report;
+    report.results.emplace_back();
+    report.results.back().spec = specs[1];
+    const std::string csv = to_csv(report);
+    EXPECT_NE(csv.find("custom:fixed:0.25"), std::string::npos);
+    EXPECT_EQ(csv.find(",random,"), std::string::npos);
+  }
+
+  // And the scenarios actually run under the custom policy.
+  const auto result = run_scenario(specs[1]);
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.within_bound);
+}
+
 TEST(Scenario, RelayFaultAndNewTopologiesForkDistinctSeeds) {
   ScenarioSpec base;
   base.world = WorldKind::kRelay;

@@ -254,8 +254,9 @@ TEST(MixedWorldSweep, CsvByteIdenticalAcrossThreadCounts) {
 
 TEST(MixedWorldSweep, GateCountsOutOfSpecRatios) {
   // Hand-built results: the gate must read skew_ratio for upper-bound
-  // worlds, bound_holds (within_bound) for theorem5, and skip rows that
-  // never produced a ratio.
+  // worlds, bound_holds (within_bound) for theorem5, skip infeasible rows
+  // (the protocol provably cannot run there), and count errored/timed-out
+  // rows at EVERY ratio — a green gate means every cell actually ran.
   SweepReport report;
 
   ScenarioResult ok;
@@ -281,13 +282,22 @@ TEST(MixedWorldSweep, GateCountsOutOfSpecRatios) {
   infeasible.skew_ratio = 99.0;
   report.results.push_back(infeasible);
 
-  ScenarioResult errored = hot;
+  ScenarioResult errored = ok;  // perfect ratio, but the cell crashed
   errored.error = "boom";
   report.results.push_back(errored);
 
-  EXPECT_EQ(count_gate_violations(report, 2.0), 1u);  // lb only
-  EXPECT_EQ(count_gate_violations(report, 1.0), 2u);  // hot + lb
-  EXPECT_EQ(count_gate_violations(report, 0.5), 3u);  // ok + hot + lb
+  ScenarioResult hung = ok;  // perfect ratio, but the budget aborted it
+  hung.timed_out = true;
+  report.results.push_back(hung);
+
+  EXPECT_EQ(count_gate_violations(report, 2.0), 3u);  // lb + errored + hung
+  EXPECT_EQ(count_gate_violations(report, 1.0), 4u);  // + hot
+  EXPECT_EQ(count_gate_violations(report, 0.5), 5u);  // + ok
+
+  EXPECT_FALSE(violates_gate(ok, 1.0));
+  EXPECT_FALSE(violates_gate(infeasible, 1.0));
+  EXPECT_TRUE(violates_gate(errored, 1.0));
+  EXPECT_TRUE(violates_gate(hung, 1.0));
 }
 
 TEST(MixedWorldSweep, GateOnRealSweepPassesAtOne) {
