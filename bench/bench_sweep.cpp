@@ -12,10 +12,24 @@
 // the full relay-fault axis, timing the topology analysis (connectivity +
 // worst-case distance BFS walk) uncached per cell vs. memoized, plus the
 // end-to-end run_sweep wall clock with the cache on and off.
+//
+// E14 — engine fast-path throughput: one broadcast-heavy complete-world CPS
+// cell measured as events/sec through three configurations (per-receiver
+// reference with real crypto; batched delivery; batched + abstract crypto),
+// then one 2^20-node hypercube flood-probe cell under a wall budget. With
+// --json the E14 numbers are written as a BENCH_*.json artifact; with
+// --history/--gate-trend the dimensionless cost ratio (fast seconds /
+// reference seconds) rides the runner's skew-ratio history machinery so CI
+// can fail when the speedup regresses.
 
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +38,7 @@
 #include "relay/adversary.hpp"
 #include "relay/flood_world.hpp"
 #include "relay/topology.hpp"
+#include "runner/history.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 
@@ -41,9 +56,72 @@ double seconds_to_run(const std::vector<runner::ScenarioSpec>& specs,
   return std::chrono::duration<double>(elapsed).count();
 }
 
+/// One timed scenario run: (result, wall seconds).
+struct TimedRun {
+  runner::ScenarioResult result;
+  double seconds = 0.0;
+  [[nodiscard]] double events_per_sec() const {
+    return static_cast<double>(result.events) / std::max(seconds, 1e-9);
+  }
+};
+
+TimedRun timed_scenario(const runner::ScenarioSpec& spec,
+                        const runner::RunnerOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.result = runner::run_scenario(spec, options);
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+/// E14's machine-readable summary (the BENCH_*.json artifact).
+struct E14Summary {
+  double reference_events_per_sec = 0.0;
+  double batched_events_per_sec = 0.0;
+  double fast_events_per_sec = 0.0;  ///< batched + abstract crypto
+  double speedup = 0.0;              ///< fast vs reference
+  double cost_ratio = 1.0;           ///< fast seconds / reference seconds
+  double large_n_seconds = 0.0;
+  double large_n_events_per_sec = 0.0;
+  std::uint64_t large_n_nodes = 0;
+  bool large_n_timed_out = false;
+  std::uint64_t grid = 0;  ///< digest tying history entries to this config
+};
+
+void write_json(const std::string& path, const E14Summary& s) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_sweep: cannot write " << path << "\n";
+    return;
+  }
+  out.precision(17);
+  out << "{\n"
+      << "  \"e14\": {\n"
+      << "    \"reference_events_per_sec\": " << s.reference_events_per_sec
+      << ",\n"
+      << "    \"batched_events_per_sec\": " << s.batched_events_per_sec
+      << ",\n"
+      << "    \"fast_events_per_sec\": " << s.fast_events_per_sec << ",\n"
+      << "    \"speedup\": " << s.speedup << ",\n"
+      << "    \"cost_ratio\": " << s.cost_ratio << ",\n"
+      << "    \"large_n_nodes\": " << s.large_n_nodes << ",\n"
+      << "    \"large_n_seconds\": " << s.large_n_seconds << ",\n"
+      << "    \"large_n_events_per_sec\": " << s.large_n_events_per_sec
+      << ",\n"
+      << "    \"large_n_timed_out\": "
+      << (s.large_n_timed_out ? "true" : "false") << ",\n"
+      << "    \"grid\": " << s.grid << "\n"
+      << "  }\n"
+      << "}\n";
+}
+
 }  // namespace
 
-int run_bench() {
+int run_bench(const std::optional<std::string>& json_path,
+              const std::optional<std::string>& history_path,
+              std::optional<double> gate_trend, bool skip_large) {
   runner::SweepGrid grid;
   grid.protocols = {baselines::ProtocolKind::kCps,
                     baselines::ProtocolKind::kLynchWelch,
@@ -222,9 +300,158 @@ int run_bench() {
        util::Table::num(sweep_off / std::max(sweep_on, 1e-9), 2) + "x", "-",
        "-"});
   bench::print(cache_table);
+
+  // E14: engine fast-path throughput. Broadcast-heavy complete-world cell:
+  // CPS at n=192, fault-free, split delays — every broadcast coalesces into
+  // two aggregate events on the fast path versus 191 per-receiver events on
+  // the reference path, and abstract crypto swaps SHA-256 for the registry
+  // hash. Same seeds, byte-identical results; only wall clock may differ.
+  runner::SweepGrid fp_grid;
+  fp_grid.protocols = {baselines::ProtocolKind::kCps};
+  fp_grid.ns = {192};
+  fp_grid.fault_loads = {0};
+  fp_grid.delays = {sim::DelayKind::kSplit};
+  fp_grid.us = {0.01};
+  fp_grid.varthetas = {1.001};
+  fp_grid.rounds = 8;
+  fp_grid.warmup = 2;
+  const auto fp_specs = fp_grid.expand();
+  auto fp_spec = fp_specs.at(0);
+
+  runner::RunnerOptions reference_options;
+  reference_options.fast_path = false;
+  const auto reference = timed_scenario(fp_spec, reference_options);
+  const auto batched = timed_scenario(fp_spec, {});
+  auto abstract_spec = fp_spec;
+  abstract_spec.crypto = runner::CryptoMode::kAbstract;
+  const auto fast = timed_scenario(abstract_spec, {});
+
+  E14Summary summary;
+  summary.reference_events_per_sec = reference.events_per_sec();
+  summary.batched_events_per_sec = batched.events_per_sec();
+  summary.fast_events_per_sec = fast.events_per_sec();
+  summary.speedup = fast.events_per_sec() /
+                    std::max(reference.events_per_sec(), 1e-9);
+  summary.cost_ratio = fast.seconds / std::max(reference.seconds, 1e-9);
+  summary.grid = runner::grid_digest(fp_specs, 1);
+
+  util::Table fp_table(
+      "E14: engine fast path — broadcast-heavy complete cell (CPS n=192, "
+      "fault-free, split delays; identical results, wall clock only)");
+  fp_table.set_header(
+      {"configuration", "events", "seconds", "events/sec", "speedup"});
+  auto fp_row = [&](const char* label, const TimedRun& run) {
+    fp_table.add_row({label, std::to_string(run.result.events),
+                      util::Table::num(run.seconds, 3),
+                      util::Table::num(run.events_per_sec(), 0),
+                      util::Table::num(run.events_per_sec() /
+                                           std::max(reference.events_per_sec(),
+                                                    1e-9),
+                                       2) +
+                          "x"});
+  };
+  fp_row("per-receiver reference, real crypto", reference);
+  fp_row("batched delivery, real crypto", batched);
+  fp_row("batched delivery, abstract crypto", fast);
+  bench::print(fp_table);
+
+  // E14b: one 2^20-node hypercube flood-probe cell (sparse world at the
+  // million-node mark) under a hard wall budget — the cell must finish, not
+  // just start.
+  if (!skip_large) {
+    runner::SweepGrid large_grid;
+    large_grid.worlds = {runner::WorldKind::kRelay};
+    large_grid.protocols = {baselines::ProtocolKind::kFloodProbe};
+    large_grid.topologies = {runner::TopologyKind::kHypercube};
+    large_grid.cryptos = {runner::CryptoMode::kAbstract};
+    large_grid.ns = {1u << 20};
+    large_grid.fault_loads = {0};
+    large_grid.delays = {sim::DelayKind::kSplit};
+    large_grid.rounds = 2;
+    large_grid.warmup = 0;
+    runner::RunnerOptions large_options;
+    large_options.budget_ms = 300000.0;
+    const auto large = timed_scenario(large_grid.expand().at(0),
+                                      large_options);
+    summary.large_n_nodes = 1u << 20;
+    summary.large_n_seconds = large.seconds;
+    summary.large_n_events_per_sec = large.events_per_sec();
+    summary.large_n_timed_out = large.result.timed_out;
+
+    util::Table large_table(
+        "E14b: million-node flood (hypercube 2^20, probe, abstract crypto, "
+        "2 rounds, 300 s budget)");
+    large_table.set_header(
+        {"nodes", "events", "seconds", "events/sec", "within budget"});
+    large_table.add_row({std::to_string(1u << 20),
+                         std::to_string(large.result.events),
+                         util::Table::num(large.seconds, 1),
+                         util::Table::num(large.events_per_sec(), 0),
+                         large.result.timed_out ? "NO" : "yes"});
+    bench::print(large_table);
+    if (large.result.timed_out) return 1;
+  }
+
+  if (json_path) write_json(*json_path, summary);
+
+  // Trend gate on the dimensionless cost ratio (fast/reference wall clock):
+  // machine speed cancels out, so a rising ratio means the fast path itself
+  // regressed. Rides the sweep history machinery — same file format, same
+  // baseline/comparability rules (keyed by the E14 grid digest).
+  if (history_path) {
+    runner::HistoryEntry entry;
+    entry.seed = 1;
+    entry.grid = summary.grid;
+    entry.cells = 3;
+    entry.worlds.push_back({runner::WorldKind::kComplete, summary.cost_ratio,
+                            summary.cost_ratio, 1});
+    if (gate_trend) {
+      std::ifstream in(*history_path);
+      const auto baseline = runner::load_baseline(in, entry.grid);
+      const auto failures = runner::check_trend(baseline, entry, *gate_trend);
+      if (!failures.empty()) {
+        for (const auto& f : failures)
+          std::cerr << "bench_sweep: trend gate: " << f << "\n";
+        return 1;  // baseline preserved: the regressed run is not appended
+      }
+    }
+    runner::append_history(*history_path, entry);
+  }
   return 0;
 }
 
 }  // namespace crusader
 
-int main() { return crusader::run_bench(); }
+int main(int argc, char** argv) {
+  std::optional<std::string> json_path;
+  std::optional<std::string> history_path;
+  std::optional<double> gate_trend;
+  bool skip_large = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = value("--json=");
+    } else if (arg.rfind("--history=", 0) == 0) {
+      history_path = value("--history=");
+    } else if (arg.rfind("--gate-trend=", 0) == 0) {
+      const auto pct =
+          crusader::runner::parse_double_strict(value("--gate-trend="));
+      if (!pct || *pct < 0.0) {
+        std::cerr << "bench_sweep: --gate-trend takes a percentage >= 0\n";
+        return 2;
+      }
+      gate_trend = *pct;
+    } else if (arg == "--skip-large") {
+      skip_large = true;
+    } else {
+      std::cerr << "bench_sweep: unknown flag " << arg
+                << " (flags: --json=PATH --history=PATH --gate-trend=PCT "
+                   "--skip-large)\n";
+      return 2;
+    }
+  }
+  return crusader::run_bench(json_path, history_path, gate_trend, skip_large);
+}

@@ -13,7 +13,8 @@
 //   --world=complete,relay,theorem5  simulation worlds (complete graph /
 //                                    Appendix-A sparse relay / Theorem-5
 //                                    lower-bound construction)
-//   --protocols=cps,lw,st      protocol kinds
+//   --protocols=cps,lw,st,probe  protocol kinds (probe = the flood-probe
+//                              transport conformance check; theorem5 skips it)
 //   --n=4,7,9                  cluster sizes (relay: topology size;
 //                              theorem5 pins n=3)
 //   --faults=0,max             faulty-node counts ("max" = the protocol's
@@ -33,6 +34,10 @@
 //                              custom:alternate, custom:target:<node>
 //                              (--delay is accepted as an alias)
 //   --clocks=spread,random-walk  clock assignments (nominal|spread|random-walk)
+//   --crypto=real,abstract     signature-cost models (real = SHA-256-backed
+//                              hashing, abstract = registry unforgeability
+//                              without hashing bytes — the large-n mode;
+//                              theorem5 collapses the axis)
 //   --byz=crash,split          Byzantine strategies (only for faults > 0);
 //                              also accepts st-accel
 // Scalars:
@@ -298,6 +303,15 @@ int main(int argc, char** argv) {
           if (!ck) return fail("unknown clock kind '" + s + "'");
           grid.clock_kinds.push_back(*ck);
         }
+      } else if (key == "crypto") {
+        grid.cryptos.clear();
+        for (const auto& s : split(value)) {
+          const auto c = runner::parse_crypto_mode(s);
+          if (!c) return fail("unknown crypto mode '" + s + "'");
+          grid.cryptos.push_back(*c);
+        }
+        if (grid.cryptos.empty())
+          return fail("--crypto needs at least one value");
       } else if (key == "byz") {
         grid.strategies.clear();
         st_accel = false;

@@ -1,7 +1,9 @@
 #include "baselines/factories.hpp"
 
+#include <algorithm>
 #include <memory>
 
+#include "baselines/flood_probe.hpp"
 #include "baselines/lynch_welch.hpp"
 #include "baselines/srikanth_toueg.hpp"
 #include "core/cps.hpp"
@@ -14,6 +16,7 @@ const char* to_string(ProtocolKind kind) {
     case ProtocolKind::kCps: return "CPS";
     case ProtocolKind::kLynchWelch: return "Lynch-Welch";
     case ProtocolKind::kSrikanthToueg: return "Srikanth-Toueg";
+    case ProtocolKind::kFloodProbe: return "probe";
   }
   return "?";
 }
@@ -46,6 +49,16 @@ ProtocolSetup make_setup(ProtocolKind kind, const sim::ModelParams& model,
       setup.initial_offset = model.d;
       setup.round_length = setup.st.T + 2.0 * model.d;
       break;
+    case ProtocolKind::kFloodProbe:
+      // No derived constants: the probe is feasible for every admissible
+      // model, pulses bracket one delivery window (see flood_probe.hpp), and
+      // nodes start aligned so receivers need no initial synchrony at all.
+      setup.feasible = true;
+      setup.predicted_skew =
+          std::max(model.u, model.d * (1.0 - 1.0 / model.vartheta));
+      setup.initial_offset = 0.0;
+      setup.round_length = 2.0 * model.d;
+      break;
   }
   return setup;
 }
@@ -74,6 +87,13 @@ sim::HonestFactory make_protocol_factory(const ProtocolSetup& setup,
       config.max_rounds = max_rounds;
       return [config](NodeId) {
         return std::make_unique<SrikanthTouegNode>(config);
+      };
+    }
+    case ProtocolKind::kFloodProbe: {
+      ProbeConfig config;
+      config.max_rounds = max_rounds;
+      return [config](NodeId) {
+        return std::make_unique<FloodProbeNode>(config);
       };
     }
   }

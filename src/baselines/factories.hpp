@@ -10,7 +10,11 @@
 
 namespace crusader::baselines {
 
-enum class ProtocolKind { kCps, kLynchWelch, kSrikanthToueg };
+/// kFloodProbe is the transport-measuring probe (baselines/flood_probe.hpp):
+/// one signed beacon broadcast per round, receivers pulse on delivery. Its
+/// predicted skew max(u, d·(1 − 1/ϑ)) holds for any admissible delivery, so
+/// probe cells conformance-check the world/overlay rather than an algorithm.
+enum class ProtocolKind { kCps, kLynchWelch, kSrikanthToueg, kFloodProbe };
 
 [[nodiscard]] const char* to_string(ProtocolKind kind);
 

@@ -1,0 +1,53 @@
+#include "baselines/flood_probe.hpp"
+
+#include "crypto/signature.hpp"
+
+namespace crusader::baselines {
+
+NodeId FloodProbeNode::beacon_of(const sim::Env& env) noexcept {
+  return env.model().n - 1;
+}
+
+void FloodProbeNode::on_start(sim::Env& env) {
+  if (env.id() != beacon_of(env)) return;  // receivers are purely reactive
+  base_local_ = env.local_now();
+  const double period = 2.0 * env.model().d;
+  env.schedule_at_local(base_local_ + period, encode_tag(kTagSend, 1));
+}
+
+void FloodProbeNode::on_timer(sim::Env& env, std::uint64_t tag) {
+  const Round round = tag >> 3;
+  if ((tag & 7u) == kTagPulse) {
+    env.pulse();
+    return;
+  }
+  if (done(round)) return;
+  sim::Message m;
+  m.kind = sim::MsgKind::kRaw;
+  m.round = round;
+  m.sig = env.sign(crypto::make_pulse_payload(round));
+  env.broadcast(m);
+  // The beacon's own pulse lands d local-time units after the send —
+  // bracketing the receivers' delivery window (see header bound).
+  env.schedule_at_local(env.local_now() + env.model().d,
+                        encode_tag(kTagPulse, round));
+  if (!done(round + 1)) {
+    const double period = 2.0 * env.model().d;
+    env.schedule_at_local(base_local_ + static_cast<double>(round + 1) * period,
+                          encode_tag(kTagSend, round + 1));
+  }
+}
+
+void FloodProbeNode::on_message(sim::Env& env, const sim::Message& m) {
+  if (env.id() == beacon_of(env)) return;  // the beacon ignores traffic
+  // First verified in-order beacon message per round; rounds are T = 2·d
+  // apart while delays spread at most u < d, so honest copies can never
+  // arrive round-inverted — anything out of order is forged or replayed.
+  if (m.round != next_ || done(m.round)) return;
+  if (m.sig.signer != beacon_of(env)) return;
+  if (!env.verify(m.sig, crypto::make_pulse_payload(m.round))) return;
+  ++next_;
+  env.pulse();
+}
+
+}  // namespace crusader::baselines

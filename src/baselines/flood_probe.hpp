@@ -1,0 +1,56 @@
+#pragma once
+// Flood probe: a deliberately minimal broadcast-heavy pulse source used to
+// exercise the engine and the relay overlay at large n.
+//
+// One distinguished beacon (node n − 1 — outside the default faulty set,
+// which crashes the FIRST f ids) broadcasts a signed round message every
+// T = 2·d of its local time and pulses d local-time units after each send;
+// every other node pulses on the first verified in-order beacon message.
+// Receivers therefore pulse within the delay spread u of each other, and
+// the beacon lands within [d/ϑ, d] after the send, so the skew is bounded by
+//     max(u, d·(1 − 1/ϑ)).
+// In relay worlds the protocol runs against the effective model, where
+// u_eff ≥ d_eff·(1 − 1/ϑ) always holds — the bound collapses to u_eff, i.e.
+// a probe sweep cell gated at --gate=1.0 is a direct conformance check of
+// the Theorem 17 premise (every pair behaves like a d_eff/u_eff link).
+//
+// There is no convergence logic: the probe measures the transport, not the
+// algorithm. That is exactly what makes it the large-n smoke/bench protocol
+// — a cell's cost is one flood per round, nothing superlinear on top.
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+
+namespace crusader::baselines {
+
+struct ProbeConfig {
+  Round max_rounds = 0;  ///< pulses per node; 0 = run to the horizon
+};
+
+class FloodProbeNode final : public sim::PulseNode {
+ public:
+  explicit FloodProbeNode(const ProbeConfig& config) : config_(config) {}
+
+  void on_start(sim::Env& env) override;
+  void on_message(sim::Env& env, const sim::Message& m) override;
+  void on_timer(sim::Env& env, std::uint64_t tag) override;
+
+ private:
+  enum TagKind : std::uint64_t { kTagSend = 1, kTagPulse = 2 };
+  [[nodiscard]] static std::uint64_t encode_tag(TagKind kind,
+                                                Round round) noexcept {
+    return static_cast<std::uint64_t>(kind) | (round << 3);
+  }
+
+  [[nodiscard]] static NodeId beacon_of(const sim::Env& env) noexcept;
+  [[nodiscard]] bool done(Round round) const noexcept {
+    return config_.max_rounds > 0 && round > config_.max_rounds;
+  }
+
+  ProbeConfig config_;
+  double base_local_ = 0.0;  ///< beacon: local time at start
+  Round next_ = 1;           ///< next round to send (beacon) / accept (other)
+};
+
+}  // namespace crusader::baselines

@@ -82,6 +82,47 @@ bool SymbolicScheme::verify(const Signature& sig,
   return issued_.contains(sig.key());
 }
 
+// --- AbstractScheme ---------------------------------------------------------
+
+namespace {
+
+/// FNV-1a over the context bytes, finalized with mix64: collision-free in
+/// practice for the handful of distinct payloads a run signs, and ~100x
+/// cheaper than SHA-256. Scheme-local: payload_hash values from this scheme
+/// never mix with SymbolicScheme/HmacScheme digests.
+std::uint64_t cheap_context_hash(const SignedPayload& payload) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : payload.context) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return util::mix64(h);
+}
+
+}  // namespace
+
+Signature AbstractScheme::sign(NodeId signer, const SignedPayload& payload,
+                               std::uint64_t nonce) {
+  Signature sig;
+  sig.signer = signer;
+  sig.payload_hash = cheap_context_hash(payload);
+  sig.nonce = nonce;
+  // Tag derived like SymbolicScheme's: validity comes from the registry.
+  const std::uint64_t t = util::mix64(
+      sig.payload_hash ^ (static_cast<std::uint64_t>(signer) * 0x100000001b3ULL) ^
+      nonce);
+  for (int i = 0; i < 8; ++i)
+    sig.tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(t >> (8 * i));
+  issued_.insert(sig.key());
+  return sig;
+}
+
+bool AbstractScheme::verify(const Signature& sig,
+                            const SignedPayload& payload) const {
+  if (sig.payload_hash != cheap_context_hash(payload)) return false;
+  return issued_.contains(sig.key());
+}
+
 // --- HmacScheme -------------------------------------------------------------
 
 HmacScheme::HmacScheme(std::uint32_t n, std::uint64_t seed) {
@@ -141,6 +182,9 @@ Pki::Pki(std::uint32_t n, Kind kind, std::uint64_t seed) : n_(n) {
       break;
     case Kind::kHmac:
       scheme_ = std::make_unique<HmacScheme>(n, seed);
+      break;
+    case Kind::kAbstract:
+      scheme_ = std::make_unique<AbstractScheme>();
       break;
   }
 }

@@ -94,6 +94,25 @@ class SymbolicScheme final : public SignatureScheme {
   std::unordered_set<std::uint64_t> issued_;
 };
 
+/// Abstract-crypto scheme: the large-n fast path. Same registry
+/// unforgeability semantics as SymbolicScheme, but the payload digest is a
+/// cheap scheme-local 64-bit hash of the context instead of SHA-256 — sign
+/// and verify never hash real bytes. Sign/verify op counts are identical to
+/// the symbolic scheme's; only the digest values differ, and those never
+/// leave the crypto layer (Signature::key() is used for set membership,
+/// never ordering).
+class AbstractScheme final : public SignatureScheme {
+ public:
+  [[nodiscard]] Signature sign(NodeId signer, const SignedPayload& payload,
+                               std::uint64_t nonce) override;
+  [[nodiscard]] bool verify(const Signature& sig,
+                            const SignedPayload& payload) const override;
+  [[nodiscard]] std::string name() const override { return "abstract"; }
+
+ private:
+  std::unordered_set<std::uint64_t> issued_;
+};
+
 /// HMAC-SHA256-backed scheme with per-node 32-byte secret keys.
 class HmacScheme final : public SignatureScheme {
  public:
@@ -117,7 +136,7 @@ class HmacScheme final : public SignatureScheme {
 /// exposes sign/verify, and counts operations for the complexity benches.
 class Pki {
  public:
-  enum class Kind { kSymbolic, kHmac };
+  enum class Kind { kSymbolic, kHmac, kAbstract };
 
   Pki(std::uint32_t n, Kind kind, std::uint64_t seed);
 

@@ -11,6 +11,17 @@ Theorem5Report run_theorem5(baselines::ProtocolKind protocol,
                             std::size_t target_rounds) {
   CS_CHECK(model.n == 3);
 
+  // The probe is a transport conformance check, not a synchronization
+  // algorithm — the Theorem-5 indistinguishability argument does not apply
+  // to it (its skew is set by one delivery, not by convergence), so the
+  // construction reports it infeasible rather than a meaningless "bound".
+  if (protocol == baselines::ProtocolKind::kFloodProbe) {
+    Theorem5Report report;
+    report.protocol = protocol;
+    report.u_tilde = model.u_tilde;
+    return report;  // feasible == false
+  }
+
   const auto setup = baselines::make_setup(protocol, model);
   if (!setup.feasible) {
     Theorem5Report report;

@@ -41,6 +41,7 @@
 #include "relay/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/hardware_clock.hpp"
+#include "sim/message_arena.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 #include "sim/trace.hpp"
@@ -67,6 +68,11 @@ struct RelayConfig {
   /// reachable in relay worlds too.
   std::function<std::unique_ptr<sim::DelayPolicy>()> custom_delay;
   crypto::Pki::Kind pki_kind = crypto::Pki::Kind::kSymbolic;
+  /// Flood fast path: honest relays coalesce equal-delay forwards to
+  /// consecutive neighbors into one aggregate event sharing an arena
+  /// payload. Off forces the per-neighbor reference path; results are
+  /// identical either way.
+  bool batch = true;
 };
 
 struct RelayRunResult {
@@ -80,6 +86,16 @@ struct RelayRunResult {
   std::uint64_t verify_ops = 0;
 };
 
+/// The expensive half's output: the worst-case hop distance D_f plus
+/// whether it was derived exhaustively (within the subset/source sampling
+/// budgets) or from the sampled walk. This is what EffectiveCache stores —
+/// a hit must not re-derive the budget decision (that re-derivation was an
+/// O(n·deg) per-cell cost at large n).
+struct RelayAnalysis {
+  std::uint32_t worst_hops = 0;
+  bool exact = true;
+};
+
 /// The effective fully-connected model plus the worst-case hop distance D_f
 /// it was derived from — computed once and shared between the runner (the
 /// feasibility check and CSV columns) and the world (the hold schedule), so
@@ -87,6 +103,8 @@ struct RelayRunResult {
 struct RelayEffective {
   sim::ModelParams model;
   std::uint32_t worst_hops = 0;
+  /// Whether worst_hops is exhaustive over all fault sets (see RelayAnalysis).
+  bool exact = true;
 };
 
 /// Computes the effective model the flooding overlay presents to the
@@ -104,17 +122,18 @@ struct RelayEffective {
 [[nodiscard]] sim::ModelParams effective_model(const RelayConfig& config);
 
 /// The expensive half of compute_effective: the (f+1)-connectivity check and
-/// worst-case hop distance D_f (exact within the subset budget, sampled +
-/// exact-for-the-configured-faulty-set beyond). Reads only the topology,
-/// hop_model.{n,f}, and the faulty set — never d/u/ϑ or the fault kind.
-[[nodiscard]] std::uint32_t analyze_worst_hops(const RelayConfig& config);
+/// worst-case hop distance D_f (exact within the subset/source budgets,
+/// sampled + exact-for-the-configured-faulty-set beyond). Reads only the
+/// topology, hop_model.{n,f}, and the faulty set — never d/u/ϑ or the fault
+/// kind.
+[[nodiscard]] RelayAnalysis analyze_worst_hops(const RelayConfig& config);
 
 /// The cheap half: fold D_f into the effective complete-graph model
 /// (d_eff = D_f·d_hop, u_eff = D_f·u_hop + (ϑ−1)·D_f·d_hop). Pure
 /// arithmetic, so compute_effective(c) ≡
 /// effective_from_hops(c.hop_model, analyze_worst_hops(c)) bit-for-bit.
 [[nodiscard]] RelayEffective effective_from_hops(const sim::ModelParams& hop,
-                                                std::uint32_t worst_hops);
+                                                RelayAnalysis analysis);
 
 /// Thread-safe per-sweep memo for analyze_worst_hops. Keyed by a
 /// caller-provided digest of everything the analysis reads: topology family,
@@ -139,7 +158,7 @@ class EffectiveCache {
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::uint32_t> worst_hops_;
+  std::unordered_map<std::uint64_t, RelayAnalysis> analyses_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
@@ -159,13 +178,14 @@ class RelayWorld {
 
   void flood_from(NodeId origin, const sim::Message& m);
   void hop_deliver(NodeId to, std::uint64_t flood_id, std::uint32_t hops,
-                   const sim::Message& m);
+                   const sim::MessageArena::Ref& ref);
 
   RelayConfig config_;
   sim::ModelParams effective_;
   std::uint32_t worst_hops_ = 0;
   std::vector<bool> faulty_;
   std::unique_ptr<RelayAdversary> adversary_;
+  sim::MessageArena arena_;
   sim::Engine engine_;
   std::unique_ptr<crypto::Pki> pki_;
   std::vector<sim::HardwareClock> clocks_;

@@ -138,21 +138,35 @@ bool Topology::survives_faults(std::uint32_t f) const {
 }
 
 bool Topology::worst_case_distance_is_exact(std::uint32_t f) const {
-  return subset_count_capped(n(), f, kWorstCaseSubsetBudget) <=
-         kWorstCaseSubsetBudget;
+  return n() <= kWorstCaseSourceBudget &&
+         subset_count_capped(n(), f, kWorstCaseSubsetBudget) <=
+             kWorstCaseSubsetBudget;
 }
 
 std::uint32_t Topology::worst_distance_with_faults(
-    const std::vector<bool>& excluded) const {
+    const std::vector<bool>& excluded, std::uint32_t source_budget) const {
   constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
   CS_CHECK(excluded.size() == n());
+  std::vector<NodeId> sources;
+  sources.reserve(n());
+  for (NodeId s = 0; s < n(); ++s)
+    if (!excluded[s]) sources.push_back(s);
+  if (source_budget > 0 && sources.size() > source_budget) {
+    // Deterministic evenly-strided sample. Every retained BFS still checks
+    // full reachability below, so connectivity verification stays exact.
+    std::vector<NodeId> sampled;
+    sampled.reserve(source_budget);
+    for (std::uint32_t i = 0; i < source_budget; ++i)
+      sampled.push_back(
+          sources[static_cast<std::size_t>(i) * sources.size() / source_budget]);
+    sources.swap(sampled);
+  }
   std::uint32_t worst = 0;
   std::vector<std::uint32_t> dist;
-  for (NodeId s = 0; s < n(); ++s) {
-    if (excluded[s]) continue;
+  for (const NodeId s : sources) {
     bfs_from(s, excluded, dist);
-    for (NodeId t = s + 1; t < n(); ++t) {
-      if (excluded[t]) continue;
+    for (NodeId t = 0; t < n(); ++t) {
+      if (t == s || excluded[t]) continue;
       CS_CHECK_MSG(dist[t] != kInf,
                    "faulty set disconnects the topology (not "
                    "(f+1)-connected?)");
@@ -164,33 +178,79 @@ std::uint32_t Topology::worst_distance_with_faults(
 
 std::uint32_t Topology::worst_case_distance(std::uint32_t f) const {
   std::uint32_t worst = 0;
-  auto probe = [&](const std::vector<bool>& excluded) {
-    worst = std::max(worst, worst_distance_with_faults(excluded));
-  };
 
   if (worst_case_distance_is_exact(f)) {
-    for_each_faulty_set(f, probe);  // exhaustive: the exact D_f
+    for_each_faulty_set(f, [&](std::vector<bool>& excluded) {
+      worst = std::max(worst, worst_distance_with_faults(excluded));
+    });  // exhaustive: the exact D_f
     return worst;
   }
 
-  // Beyond the budget: deterministic sampling. Structured cuts first —
-  // deleting f neighbors of one node is how relay paths stretch, so every
-  // node's first-f-neighbors cut is probed — then seeded random subsets up
-  // to the budget. Seed depends only on (n, f): same graph, same answer.
+  // Beyond the budgets: deterministic sampling. Structured cuts first —
+  // deleting f neighbors of one node is how relay paths stretch — then
+  // seeded random subsets. Everything is a pure function of (graph, f):
+  // same graph, same answer, across runs, threads, and call sites.
   std::vector<bool> excluded(n(), false);
-  std::uint64_t probes = 0;
-  for (NodeId v = 0; v < n(); ++v) {
+  const std::uint32_t source_cap =
+      n() <= kWorstCaseSourceBudget ? 0 : sampled_source_cap();
+  auto probe = [&](const std::vector<bool>& ex) {
+    worst = std::max(worst, worst_distance_with_faults(ex, source_cap));
+  };
+
+  if (n() <= kWorstCaseSourceBudget) {
+    // Small-n sampled regime (subset budget exceeded): every node's
+    // first-f-neighbors cut, then random subsets up to the probe budget,
+    // each with exhaustive sources — the historical sampling behavior.
+    std::uint64_t probes = 0;
+    for (NodeId v = 0; v < n(); ++v) {
+      const auto& nb = adj_[v];
+      const std::uint32_t take =
+          std::min<std::uint32_t>(f, static_cast<std::uint32_t>(nb.size()));
+      for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = true;
+      probe(excluded);
+      ++probes;
+      for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = false;
+    }
+    util::Rng rng(0xd157a9ceULL ^ (static_cast<std::uint64_t>(n()) << 32) ^ f);
+    std::vector<NodeId> picked;
+    while (probes < kWorstCaseSubsetBudget) {
+      picked.clear();
+      while (picked.size() < f) {
+        const NodeId v = static_cast<NodeId>(rng.below(n()));
+        if (!excluded[v]) {
+          excluded[v] = true;
+          picked.push_back(v);
+        }
+      }
+      probe(excluded);
+      ++probes;
+      for (const NodeId v : picked) excluded[v] = false;
+    }
+    return worst;
+  }
+
+  // Large-n sampled regime (source budget exceeded): a strided handful of
+  // first-f-neighbors cuts plus a couple of random subsets, each probed
+  // with sampled sources, so a 10^5-node analysis is a few dozen BFS walks
+  // instead of millions.
+  if (f == 0) {
+    probe(excluded);  // only one fault set exists: the empty one
+    return worst;
+  }
+  constexpr std::uint32_t kStructuredProbes = 6;
+  constexpr std::uint32_t kRandomProbes = 2;
+  const NodeId stride = std::max(1u, n() / kStructuredProbes);
+  for (NodeId v = 0; v < n(); v += stride) {
     const auto& nb = adj_[v];
     const std::uint32_t take =
         std::min<std::uint32_t>(f, static_cast<std::uint32_t>(nb.size()));
     for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = true;
     probe(excluded);
-    ++probes;
     for (std::uint32_t i = 0; i < take; ++i) excluded[nb[i]] = false;
   }
   util::Rng rng(0xd157a9ceULL ^ (static_cast<std::uint64_t>(n()) << 32) ^ f);
   std::vector<NodeId> picked;
-  while (probes < kWorstCaseSubsetBudget) {
+  for (std::uint32_t p = 0; p < kRandomProbes; ++p) {
     picked.clear();
     while (picked.size() < f) {
       const NodeId v = static_cast<NodeId>(rng.below(n()));
@@ -200,7 +260,6 @@ std::uint32_t Topology::worst_case_distance(std::uint32_t f) const {
       }
     }
     probe(excluded);
-    ++probes;
     for (const NodeId v : picked) excluded[v] = false;
   }
   return worst;

@@ -36,8 +36,15 @@ class Topology {
   /// survivors. This is the per-faulty-set step of worst_case_distance,
   /// exposed for callers that need one concrete fault set evaluated
   /// exactly (see relay::compute_effective's sampled regime).
+  ///
+  /// `source_budget` = 0 (the default) runs one BFS per surviving source —
+  /// exhaustive, the historical behavior. A positive budget caps the BFS
+  /// count at that many evenly-strided sources: the returned eccentricity
+  /// becomes a lower bound (exact on vertex-transitive graphs), but the
+  /// connectivity CS_CHECK stays exact — any single source reaching every
+  /// survivor proves the survivor graph connected.
   [[nodiscard]] std::uint32_t worst_distance_with_faults(
-      const std::vector<bool>& excluded) const;
+      const std::vector<bool>& excluded, std::uint32_t source_budget = 0) const;
 
   /// True iff every pair of nodes stays connected after removing any set of
   /// up to `f` other nodes — i.e. the graph is (f+1)-connected in the sense
@@ -64,10 +71,24 @@ class Topology {
   /// above. Covers every f for n ≤ 12 (max C(12,6) = 924).
   static constexpr std::uint64_t kWorstCaseSubsetBudget = 2048;
 
+  /// Source budget for the exhaustive walk: above this n even the f = 0
+  /// all-pairs eccentricity (one BFS per source) is a cliff, so
+  /// worst_case_distance switches to the sampled regime and every probe
+  /// samples its BFS sources (see sampled_source_cap).
+  static constexpr std::uint32_t kWorstCaseSourceBudget = 256;
+
+  /// BFS sources per sampled-regime probe at this n. Shrinks past 2^16
+  /// nodes so a 10^6-node analysis stays at a handful of O(n·deg) walks.
+  [[nodiscard]] std::uint32_t sampled_source_cap() const noexcept {
+    return n() <= (1u << 16) ? kWorstCaseSourceBudget : 16u;
+  }
+
   /// Whether worst_case_distance(f) runs the exhaustive walk (true) or the
   /// budget-bounded sample (false) — i.e. whether its result is the exact
   /// D_f or a lower bound. Callers deriving soundness-critical parameters
   /// from a sampled result must compensate (see relay::compute_effective).
+  /// Exhaustiveness needs both budgets: C(n, f) size-f subsets within the
+  /// subset budget AND n within the source budget.
   [[nodiscard]] bool worst_case_distance_is_exact(std::uint32_t f) const;
 
   // --- Factories ---------------------------------------------------------

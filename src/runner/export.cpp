@@ -87,6 +87,7 @@ std::vector<Field> fields(const ScenarioResult& r) {
                                : sim::to_string(s.delay),
                 true});
   add("clocks", {"", sim::to_string(s.clocks), true});
+  add("crypto", {"", to_string(s.crypto), true});
   // The two fault-behavior columns mirror each other: "-" where the axis
   // does not apply (byz is complete-only, relay_fault is relay-only),
   // "none" where it applies but no faulty node is instantiated.

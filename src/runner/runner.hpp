@@ -42,6 +42,12 @@ struct RunnerOptions {
   /// Externally-owned cache (share across sweeps, inspect hit counts);
   /// overrides relay_cache when set. Not owned.
   relay::EffectiveCache* shared_relay_cache = nullptr;
+  /// Engine fast path: batched broadcast/flood delivery through the message
+  /// arena (WorldConfig::batch / RelayConfig::batch). Results are identical
+  /// on or off — the toggle exists for the differential tests and the bench
+  /// baseline, so it is an option, not a ScenarioSpec axis (no key/CSV
+  /// impact).
+  bool fast_path = true;
 };
 
 /// Everything measured for one scenario. Doubles are NaN when the scenario

@@ -50,6 +50,14 @@ const char* to_string(TopologyKind kind) {
   return "?";
 }
 
+const char* to_string(CryptoMode mode) {
+  switch (mode) {
+    case CryptoMode::kReal: return "real";
+    case CryptoMode::kAbstract: return "abstract";
+  }
+  return "?";
+}
+
 std::optional<WorldKind> parse_world(std::string_view s) {
   if (s == "complete" || s == "flat") return WorldKind::kComplete;
   if (s == "relay" || s == "sparse") return WorldKind::kRelay;
@@ -75,6 +83,8 @@ std::optional<baselines::ProtocolKind> parse_protocol(std::string_view s) {
     return baselines::ProtocolKind::kLynchWelch;
   if (s == "st" || s == "srikanth-toueg")
     return baselines::ProtocolKind::kSrikanthToueg;
+  if (s == "probe" || s == "flood-probe")
+    return baselines::ProtocolKind::kFloodProbe;
   return std::nullopt;
 }
 
@@ -99,6 +109,12 @@ std::optional<relay::RelayFaultKind> parse_relay_fault(std::string_view s) {
   if (s == "reorder") return relay::RelayFaultKind::kReorder;
   if (s == "selective-drop" || s == "drop")
     return relay::RelayFaultKind::kSelectiveDrop;
+  return std::nullopt;
+}
+
+std::optional<CryptoMode> parse_crypto_mode(std::string_view s) {
+  if (s == "real") return CryptoMode::kReal;
+  if (s == "abstract") return CryptoMode::kAbstract;
   return std::nullopt;
 }
 
@@ -228,6 +244,7 @@ std::string ScenarioSpec::name() const {
   }
   if (f_actual > 0 && world == WorldKind::kRelay)
     os << " fault=" << relay::to_string(relay_fault);
+  if (crypto != CryptoMode::kReal) os << " crypto=" << to_string(crypto);
   return os.str();
 }
 
@@ -262,6 +279,11 @@ std::uint64_t ScenarioSpec::key() const noexcept {
   h = fold(h, static_cast<std::uint64_t>(rounds));
   h = fold(h, static_cast<std::uint64_t>(warmup));
   h = fold(h, slack);
+  // The crypto axis folds only when non-default, appended after every older
+  // field: kReal specs keep their historical digests (and hence seeds,
+  // resume journals, and history baselines) bit-for-bit.
+  if (crypto != CryptoMode::kReal)
+    h = fold(h, 0xab57ac7u + static_cast<std::uint64_t>(crypto));
   return h;
 }
 
@@ -344,8 +366,21 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     // it would reseed identical worlds and read as a fake ũ effect.
     const std::vector<double> world_uts =
         relay ? std::vector<double>{-1.0} : ut_axis;
+    // Theorem-5 collapses the crypto axis (nothing is forged there); its
+    // specs keep the default kReal so digest-based dedup folds duplicates.
+    const std::vector<CryptoMode> world_cryptos =
+        thm5 ? std::vector<CryptoMode>{CryptoMode::kReal} : cryptos;
+    // The probe protocol is meaningless under the Theorem-5 construction
+    // (run_theorem5 would report it infeasible); skip the cells entirely
+    // instead of emitting guaranteed-dead rows.
+    std::vector<baselines::ProtocolKind> world_protocols = protocols;
+    if (thm5)
+      world_protocols.erase(
+          std::remove(world_protocols.begin(), world_protocols.end(),
+                      baselines::ProtocolKind::kFloodProbe),
+          world_protocols.end());
 
-    for (const auto protocol : protocols) {
+    for (const auto protocol : world_protocols) {
       for (const auto n : world_ns) {
         for (const auto topology : world_topologies) {
           // Resolve fault loads up front and dedupe: kMaxResilience can
@@ -370,6 +405,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                 for (const double ut : world_uts) {
                   for (const auto delay : world_delays) {
                     for (const auto clock : world_clocks) {
+                     for (const auto crypto : world_cryptos) {
                       ScenarioSpec spec;
                       spec.world = world;
                       spec.topology = topology;
@@ -392,6 +428,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                       spec.rounds = rounds;
                       spec.warmup = warmup;
                       spec.slack = slack;
+                      spec.crypto = crypto;
                       if (relay && faults > 0) {
                         // Faulty relay points multiply by the relay-fault
                         // axis instead of the (complete-world) strategies.
@@ -409,6 +446,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                         spec.strategy = strategy;
                         push(spec);
                       }
+                     }
                     }
                   }
                 }

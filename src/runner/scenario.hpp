@@ -50,8 +50,18 @@ enum class TopologyKind {
   kRandomConnected
 };
 
+/// Signature-cost model for a scenario.
+///  * kReal — SHA-256-backed payload hashing (the default, PR-2 behaviour:
+///    crypto::Pki::Kind::kSymbolic).
+///  * kAbstract — unforgeability semantics without hashing bytes
+///    (crypto::Pki::Kind::kAbstract): sign/verify are registry operations
+///    over a cheap context hash. Same op counts and protocol behaviour, far
+///    cheaper per message — the large-n sweep mode.
+enum class CryptoMode { kReal, kAbstract };
+
 [[nodiscard]] const char* to_string(WorldKind kind);
 [[nodiscard]] const char* to_string(TopologyKind kind);
+[[nodiscard]] const char* to_string(CryptoMode mode);
 
 // CLI-facing parsers (shared by sweep_cli and the tests that assert every
 // enumerator stays reachable from the command line). Each accepts exactly the
@@ -70,6 +80,7 @@ enum class TopologyKind {
     std::string_view s);
 [[nodiscard]] std::optional<relay::RelayFaultKind> parse_relay_fault(
     std::string_view s);
+[[nodiscard]] std::optional<CryptoMode> parse_crypto_mode(std::string_view s);
 
 /// CLI spelling for WorldConfig::custom_delay / RelayConfig::custom_delay —
 /// the delay policies that have no DelayKind enumerator:
@@ -152,6 +163,11 @@ struct ScenarioSpec {
   std::size_t warmup = 5;
   /// Slack multiplier forwarded to make_setup's constant solver.
   double slack = 1.0;
+  /// Signature-cost model (real SHA-256 hashing vs abstract registry
+  /// semantics). Behaviour-preserving by construction, so the default stays
+  /// kReal and only kAbstract folds into key() — existing digests, seeds,
+  /// and history files are untouched.
+  CryptoMode crypto = CryptoMode::kReal;
 
   [[nodiscard]] sim::ModelParams model() const;
 
@@ -205,6 +221,9 @@ struct SweepGrid {
   /// Relay-fault behaviors for faulty kRelay grid points.
   std::vector<relay::RelayFaultKind> relay_faults{
       relay::RelayFaultKind::kCrash};
+  /// Crypto-mode axis (kTheorem5 collapses to kReal — the construction's
+  /// adversary forges nothing, so the axis has no effect there).
+  std::vector<CryptoMode> cryptos{CryptoMode::kReal};
   double d = 1.0;
   std::size_t rounds = 20;
   std::size_t warmup = 5;

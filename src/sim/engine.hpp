@@ -66,6 +66,12 @@ class Engine {
     return processed_;
   }
 
+  /// Credit `k` extra logical events to the processed counter. Aggregate
+  /// events (one scheduled callback expanding to k identical deliveries)
+  /// call this with k-1 so events_processed() reports the same logical
+  /// count the unbatched path would.
+  void credit_events(std::uint64_t k) noexcept { processed_ += k; }
+
  private:
   EventQueue queue_;
   double now_ = 0.0;

@@ -11,15 +11,19 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
+
+#include "util/small_fn.hpp"
 
 namespace crusader::sim {
 
 /// Generation-tagged event handle: low 32 bits slot index, high 32 bits the
 /// slot's generation at schedule time. Treat as opaque outside EventQueue.
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+/// Move-only with a 48-byte inline buffer: delivery closures (engine pointer
+/// + receiver range + arena handle) fit without touching the heap, which
+/// std::function's 16-byte SBO cannot manage.
+using EventFn = util::SmallFn<void()>;
 
 class EventQueue {
  public:

@@ -78,31 +78,37 @@ void Network::check_adversary_knowledge(NodeId from, const Message& m) {
   for (const auto& s : m.sigs) check_one(s);
 }
 
-void Network::enqueue(NodeId from, NodeId to, Message m, double delay) {
-  CS_CHECK_MSG(to < model_.n, "recipient " << to << " out of range");
-  CS_CHECK_MSG(from != to, "self-sends are modeled as local computation");
-  m.sender = from;
-
+void Network::count_message(const Message& m) {
   ++stats_.messages;
   ++stats_.by_kind[static_cast<std::size_t>(m.kind)];
   if (m.sig.signer != kInvalidNode) ++stats_.signatures_carried;
   stats_.signatures_carried += m.sigs.size();
+}
 
-  const double deliver_at = engine_.now() + delay;
-  engine_.at(deliver_at, [this, to, msg = std::move(m)]() {
-    // The adversary learns every signature delivered to a faulty node
-    // (execution well-formedness rule, Section 2).
-    if (faulty_.at(to)) {
-      if (msg.sig.signer != kInvalidNode) knowledge_.learn(msg.sig);
-      for (const auto& s : msg.sigs) knowledge_.learn(s);
-    }
-    CS_CHECK_MSG(deliver_, "network delivery hook not installed");
-    deliver_(to, msg);
+void Network::deliver_one(NodeId to, const Message& m) {
+  // The adversary learns every signature delivered to a faulty node
+  // (execution well-formedness rule, Section 2).
+  if (faulty_.at(to)) {
+    if (m.sig.signer != kInvalidNode) knowledge_.learn(m.sig);
+    for (const auto& s : m.sigs) knowledge_.learn(s);
+  }
+  CS_CHECK_MSG(deliver_, "network delivery hook not installed");
+  deliver_(to, m);
+}
+
+void Network::enqueue(NodeId from, NodeId to, Message m, double delay) {
+  CS_CHECK_MSG(to < model_.n, "recipient " << to << " out of range");
+  CS_CHECK_MSG(from != to, "self-sends are modeled as local computation");
+  m.sender = from;
+  count_message(m);
+
+  auto ref = arena_.acquire(m);
+  engine_.at(engine_.now() + delay, [this, to, ref = std::move(ref)] {
+    deliver_one(to, *ref);
   });
 }
 
-void Network::send(NodeId from, NodeId to, Message m) {
-  check_adversary_knowledge(from, m);
+double Network::choose_delay(NodeId from, NodeId to, const Message& m) {
   const double lo = min_delay(from, to);
   const double hi = model_.d;
   double delay = policy_->delay(from, to, engine_.now(), m, lo, hi, rng_);
@@ -113,7 +119,70 @@ void Network::send(NodeId from, NodeId to, Message m) {
     flag(oss.str());
     delay = std::min(std::max(delay, lo), hi);
   }
+  return delay;
+}
+
+void Network::send(NodeId from, NodeId to, Message m) {
+  check_adversary_knowledge(from, m);
+  const double delay = choose_delay(from, to, m);
   enqueue(from, to, std::move(m), delay);
+}
+
+void Network::broadcast(NodeId from, const Message& m) {
+  if (!batch_ || faulty_.at(from)) {
+    // Reference path: per-receiver sends. Faulty senders stay here even
+    // with batching on, because check_adversary_knowledge records one
+    // violation per receiver.
+    for (NodeId to = 0; to < model_.n; ++to)
+      if (to != from) send(from, to, m);
+    return;
+  }
+  CS_CHECK_MSG(from < model_.n, "sender " << from << " out of range");
+
+  // One shared payload for the whole broadcast; receivers only read it.
+  Message stamped = m;
+  stamped.sender = from;
+  const MessageArena::Ref ref = arena_.acquire(stamped);
+
+  // Group maximal runs of consecutive receivers with exactly-equal delay
+  // into one aggregate event each. Delivery order is identical to the
+  // per-receiver path: within a run receivers fire in id order, and runs at
+  // equal times fire in scheduling (= id) order by the queue's FIFO
+  // tie-break. The aggregate credits the engine so events_processed()
+  // reports per-receiver logical events.
+  double run_delay = 0.0;
+  NodeId run_begin = 0;
+  NodeId run_end = 0;
+  std::uint32_t run_count = 0;
+  auto flush = [&] {
+    if (run_count == 0) return;
+    engine_.at(engine_.now() + run_delay,
+               [this, a = run_begin, b = run_end, k = run_count, ref] {
+                 engine_.credit_events(k - 1);
+                 const NodeId skip = ref->sender;
+                 for (NodeId to = a; to <= b; ++to) {
+                   if (to == skip) continue;
+                   deliver_one(to, *ref);
+                 }
+               });
+  };
+  for (NodeId to = 0; to < model_.n; ++to) {
+    if (to == from) continue;
+    count_message(stamped);
+    // Policies see the caller's message, exactly like send() (the sender
+    // stamp happens on the payload copy, after delay selection).
+    const double delay = choose_delay(from, to, m);
+    if (run_count > 0 && delay == run_delay) {
+      run_end = to;
+      ++run_count;
+    } else {
+      flush();
+      run_delay = delay;
+      run_begin = run_end = to;
+      run_count = 1;
+    }
+  }
+  flush();
 }
 
 void Network::send_with_delay(NodeId from, NodeId to, Message m, double delay) {

@@ -68,8 +68,7 @@ class World::HonestRunner final : public Env {
   }
 
   void broadcast(const Message& m) override {
-    for (NodeId to = 0; to < core_.model->n; ++to)
-      if (to != core_.id) core_.network->send(core_.id, to, m);
+    core_.network->broadcast(core_.id, m);
   }
 
   TimerId schedule_at_local(double local_time, std::uint64_t tag) override {
@@ -122,8 +121,9 @@ class World::ByzantineRunner final : public AdversaryEnv {
   }
 
   void broadcast(const Message& m) override {
-    for (NodeId to = 0; to < core_.model->n; ++to)
-      if (to != core_.id) core_.network->send(core_.id, to, m);
+    // Faulty senders always take the network's per-receiver path (their
+    // Dolev–Yao knowledge check is per receiver).
+    core_.network->broadcast(core_.id, m);
   }
 
   TimerId schedule_at_local(double local_time, std::uint64_t tag) override {
@@ -184,6 +184,7 @@ World::World(WorldConfig config, HonestFactory honest,
   network_ = std::make_unique<Network>(*engine_, config_.model, faulty_,
                                        std::move(policy), rng_.fork(0xdeadu),
                                        config_.enforcement);
+  network_->set_batch(config_.batch);
   trace_ = std::make_unique<PulseTrace>(n, faulty_);
 
   build_clocks();

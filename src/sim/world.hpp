@@ -46,6 +46,10 @@ struct WorldConfig {
   /// Optional custom delay policy factory (overrides delay_kind).
   std::function<std::unique_ptr<DelayPolicy>()> custom_delay;
   Enforcement enforcement = Enforcement::kThrow;
+  /// Broadcast fast path (aggregate events + shared arena payloads). Off
+  /// forces the per-receiver reference path; results are identical either
+  /// way (tests/test_engine_fastpath.cpp diffs them).
+  bool batch = true;
 };
 
 struct RunResult {

@@ -1,0 +1,126 @@
+#pragma once
+// Move-only callable with a fat inline buffer.
+//
+// The event queue schedules tens of millions of closures per large-n run;
+// std::function's small-buffer optimization (16 bytes on libstdc++) forces a
+// heap allocation for every delivery closure (~32-48 bytes of captures:
+// this-pointer, receiver range, arena handle). SmallFn stores callables up
+// to kInline bytes in place and only falls back to the heap beyond that, so
+// the common event costs zero allocations end to end.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace crusader::util {
+
+template <typename Signature>
+class SmallFn;
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
+ public:
+  static constexpr std::size_t kInline = 48;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInline &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(buffer_)) Decayed(std::forward<F>(f));
+      ops_ = &inline_ops<Decayed>;
+    } else {
+      ::new (static_cast<void*>(buffer_))
+          Decayed*(new Decayed(std::forward<F>(f)));
+      ops_ = &heap_ops<Decayed>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* buf, Args&&... args);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename F>
+  static constexpr Ops inline_ops = {
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<F*>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src));
+        ::new (dst) F(std::move(*from));
+        from->~F();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<F*>(buf))->~F();
+      }};
+
+  template <typename F>
+  static constexpr Ops heap_ops = {
+      [](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<F**>(buf)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) F*(*std::launder(reinterpret_cast<F**>(src)));
+      },
+      [](void* buf) noexcept {
+        delete *std::launder(reinterpret_cast<F**>(buf));
+      }};
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) ops_->relocate(buffer_, other.buffer_);
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInline];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace crusader::util

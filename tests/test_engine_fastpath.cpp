@@ -1,0 +1,302 @@
+// Differential harness for the engine fast path: the batched
+// broadcast/flood delivery (WorldConfig::batch / RelayConfig::batch) and the
+// abstract crypto mode must be behavior-preserving — identical traces, skew
+// results, sign/verify op counts, and byte-identical CSV rows across every
+// world kind, on 1 thread or 4.
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baselines/factories.hpp"
+#include "core/adversaries.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/topology.hpp"
+#include "runner/export.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+
+namespace crusader {
+namespace {
+
+using runner::CryptoMode;
+using runner::ScenarioSpec;
+using runner::SweepGrid;
+using runner::TopologyKind;
+using runner::WorldKind;
+
+/// Every world kind × a spread of protocols, fault loads, and both crypto
+/// modes at small n — the cross product the fast path must be invisible on.
+SweepGrid differential_grid() {
+  SweepGrid grid;
+  grid.worlds = {WorldKind::kComplete, WorldKind::kRelay,
+                 WorldKind::kTheorem5};
+  grid.protocols = {
+      baselines::ProtocolKind::kCps, baselines::ProtocolKind::kLynchWelch,
+      baselines::ProtocolKind::kSrikanthToueg,
+      baselines::ProtocolKind::kFloodProbe};
+  grid.ns = {4, 8};
+  grid.fault_loads = {0, SweepGrid::kMaxResilience};
+  // kMax: every delay equal → one aggregate per broadcast (maximal
+  // batching). kSplit: exactly two runs. kRandom: per-receiver runs (the
+  // fast path degenerates to the slow path, but must burn the same RNG
+  // stream).
+  grid.delays = {sim::DelayKind::kMax, sim::DelayKind::kRandom,
+                 sim::DelayKind::kSplit};
+  grid.topologies = {TopologyKind::kHypercube};
+  grid.strategies = {core::ByzStrategy::kSplit};
+  grid.relay_faults = {relay::RelayFaultKind::kCrash,
+                       relay::RelayFaultKind::kMaxDelay};
+  grid.cryptos = {CryptoMode::kReal, CryptoMode::kAbstract};
+  grid.rounds = 6;
+  grid.warmup = 2;
+  return grid;
+}
+
+std::string sweep_csv(const SweepGrid& grid, bool fast_path,
+                      unsigned threads) {
+  runner::RunnerOptions options;
+  options.base_seed = 7;
+  options.threads = threads;
+  options.fast_path = fast_path;
+  return runner::to_csv(runner::run_sweep(grid.expand(), options));
+}
+
+TEST(FastPathDifferential, CsvByteIdenticalAcrossBatchToggle) {
+  const auto grid = differential_grid();
+  const std::string fast = sweep_csv(grid, /*fast_path=*/true, 1);
+  const std::string slow = sweep_csv(grid, /*fast_path=*/false, 1);
+  EXPECT_EQ(fast, slow);
+}
+
+TEST(FastPathDifferential, CsvByteIdenticalAcrossThreadCounts) {
+  const auto grid = differential_grid();
+  const std::string one = sweep_csv(grid, /*fast_path=*/true, 1);
+  const std::string four = sweep_csv(grid, /*fast_path=*/true, 4);
+  EXPECT_EQ(one, four);
+}
+
+void expect_traces_identical(const sim::PulseTrace& a,
+                             const sim::PulseTrace& b) {
+  ASSERT_EQ(a.n(), b.n());
+  for (NodeId v = 0; v < a.n(); ++v) {
+    ASSERT_EQ(a.pulse_count(v), b.pulse_count(v)) << "node " << v;
+    for (std::size_t r = 0; r < a.pulse_count(v); ++r) {
+      // Exact, not approximate: the fast path must schedule the very same
+      // floating-point times, or seeds stop reproducing across the toggle.
+      EXPECT_EQ(a.pulses(v)[r].real_time, b.pulses(v)[r].real_time)
+          << "node " << v << " round " << r;
+      EXPECT_EQ(a.pulses(v)[r].local_time, b.pulses(v)[r].local_time)
+          << "node " << v << " round " << r;
+    }
+  }
+}
+
+void expect_runs_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  expect_traces_identical(a.trace, b.trace);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sign_ops, b.sign_ops);
+  EXPECT_EQ(a.verify_ops, b.verify_ops);
+  EXPECT_EQ(a.signatures_carried, b.signatures_carried);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+/// One complete-world run with everything pinned except the knob under test.
+sim::RunResult run_complete(baselines::ProtocolKind protocol,
+                            crypto::Pki::Kind pki, bool batch,
+                            std::uint32_t f) {
+  sim::ModelParams model;
+  model.n = 5;
+  model.f = f;
+  model.d = 1.0;
+  model.u = 0.05;
+  model.u_tilde = 0.05;
+  model.vartheta = 1.02;
+  const auto setup = baselines::make_setup(protocol, model);
+  EXPECT_TRUE(setup.feasible);
+  auto honest = baselines::make_protocol_factory(setup, 6);
+
+  sim::WorldConfig config;
+  config.model = model;
+  config.seed = 42;
+  config.initial_offset = setup.initial_offset;
+  config.horizon = setup.initial_offset + 8.0 * setup.round_length;
+  config.pki_kind = pki;
+  config.batch = batch;
+  config.faulty = sim::default_faulty_set(f);
+
+  sim::ByzantineFactory byz;
+  if (f > 0)
+    byz = core::make_byzantine_factory(core::ByzStrategy::kSplit, honest, 42,
+                                       0.0, 0.0);
+  sim::World world(config, std::move(honest), std::move(byz));
+  return world.run();
+}
+
+TEST(FastPathDifferential, CompleteWorldIdenticalAcrossBatchToggle) {
+  for (const auto protocol :
+       {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kSrikanthToueg,
+        baselines::ProtocolKind::kFloodProbe}) {
+    for (const std::uint32_t f : {0u, 1u}) {
+      const auto fast = run_complete(protocol, crypto::Pki::Kind::kSymbolic,
+                                     /*batch=*/true, f);
+      const auto slow = run_complete(protocol, crypto::Pki::Kind::kSymbolic,
+                                     /*batch=*/false, f);
+      expect_runs_identical(fast, slow);
+    }
+  }
+}
+
+TEST(FastPathDifferential, CompleteWorldIdenticalAbstractVsRealCrypto) {
+  // Same config seed, only the Pki kind varies: the abstract scheme must
+  // reproduce the symbolic scheme's behavior (op counts included) exactly —
+  // it only swaps the hash under the signatures.
+  for (const auto protocol :
+       {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kSrikanthToueg,
+        baselines::ProtocolKind::kFloodProbe}) {
+    const auto real = run_complete(protocol, crypto::Pki::Kind::kSymbolic,
+                                   /*batch=*/true, 1);
+    const auto abstracted = run_complete(
+        protocol, crypto::Pki::Kind::kAbstract, /*batch=*/true, 1);
+    expect_runs_identical(real, abstracted);
+    EXPECT_GT(real.sign_ops, 0u);
+    EXPECT_GT(real.verify_ops, 0u);
+  }
+}
+
+void expect_relay_runs_identical(const relay::RelayRunResult& a,
+                                 const relay::RelayRunResult& b) {
+  expect_traces_identical(a.trace, b.trace);
+  EXPECT_EQ(a.worst_hops, b.worst_hops);
+  EXPECT_EQ(a.physical_messages, b.physical_messages);
+  EXPECT_EQ(a.floods, b.floods);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sign_ops, b.sign_ops);
+  EXPECT_EQ(a.verify_ops, b.verify_ops);
+}
+
+relay::RelayRunResult run_relay(crypto::Pki::Kind pki, bool batch,
+                                relay::RelayFaultKind fault_kind,
+                                std::uint32_t f) {
+  relay::RelayConfig config;
+  config.topology = relay::Topology::hypercube(3);
+  config.hop_model.n = 8;
+  config.hop_model.f = f;
+  config.hop_model.d = 1.0;
+  config.hop_model.u = 0.05;
+  config.hop_model.u_tilde = 0.05;
+  config.hop_model.vartheta = 1.01;
+  config.seed = 42;
+  config.faulty = sim::default_faulty_set(f);
+  config.fault_kind = fault_kind;
+  config.pki_kind = pki;
+  config.batch = batch;
+
+  const auto effective = relay::compute_effective(config);
+  const auto setup = baselines::make_setup(baselines::ProtocolKind::kCps,
+                                           effective.model);
+  EXPECT_TRUE(setup.feasible);
+  config.initial_offset = setup.initial_offset;
+  config.horizon = setup.initial_offset + 8.0 * setup.round_length;
+  relay::RelayWorld world(config, baselines::make_protocol_factory(setup, 6),
+                          effective);
+  return world.run();
+}
+
+TEST(FastPathDifferential, RelayWorldIdenticalAcrossBatchToggle) {
+  for (const auto fault : {relay::RelayFaultKind::kCrash,
+                           relay::RelayFaultKind::kMaxDelay,
+                           relay::RelayFaultKind::kReorder,
+                           relay::RelayFaultKind::kSelectiveDrop}) {
+    for (const std::uint32_t f : {0u, 1u}) {
+      const auto fast = run_relay(crypto::Pki::Kind::kSymbolic,
+                                  /*batch=*/true, fault, f);
+      const auto slow = run_relay(crypto::Pki::Kind::kSymbolic,
+                                  /*batch=*/false, fault, f);
+      expect_relay_runs_identical(fast, slow);
+    }
+  }
+}
+
+TEST(FastPathDifferential, RelayWorldIdenticalAbstractVsRealCrypto) {
+  const auto real = run_relay(crypto::Pki::Kind::kSymbolic, /*batch=*/true,
+                              relay::RelayFaultKind::kCrash, 1);
+  const auto abstracted = run_relay(crypto::Pki::Kind::kAbstract,
+                                    /*batch=*/true,
+                                    relay::RelayFaultKind::kCrash, 1);
+  expect_relay_runs_identical(real, abstracted);
+  EXPECT_GT(real.sign_ops, 0u);
+  EXPECT_GT(real.verify_ops, 0u);
+}
+
+// --- Network-level delivery-order property -------------------------------
+
+struct NetFixture {
+  sim::Engine engine;
+  std::vector<NodeId> order;
+  std::unique_ptr<sim::Network> net;
+
+  NetFixture(sim::DelayKind kind, bool batch) {
+    sim::ModelParams m;
+    m.n = 6;
+    m.f = 0;
+    m.d = 1.0;
+    m.u = 0.2;
+    m.u_tilde = 0.2;
+    m.vartheta = 1.01;
+    net = std::make_unique<sim::Network>(
+        engine, m, std::vector<bool>(6, false),
+        sim::make_delay_policy(kind, 6), util::Rng(7),
+        sim::Enforcement::kThrow);
+    net->set_batch(batch);
+    net->set_deliver(
+        [this](NodeId to, const sim::Message&) { order.push_back(to); });
+  }
+};
+
+TEST(FastPathDifferential, BatchedBroadcastPreservesDeliveryOrder) {
+  // Two broadcasts scheduled back-to-back: the batched path must deliver in
+  // the exact per-receiver order of the reference path — within a run by
+  // receiver order, across equal-time runs by scheduling order (the queue's
+  // FIFO tie-break).
+  for (const auto kind : {sim::DelayKind::kMax, sim::DelayKind::kMin,
+                          sim::DelayKind::kRandom, sim::DelayKind::kSplit}) {
+    NetFixture fast(kind, /*batch=*/true);
+    NetFixture slow(kind, /*batch=*/false);
+    for (auto* fx : {&fast, &slow}) {
+      fx->net->broadcast(0, sim::Message{});
+      fx->net->broadcast(1, sim::Message{});
+      fx->engine.run_until(2.0);
+    }
+    EXPECT_EQ(fast.order, slow.order) << sim::to_string(kind);
+    EXPECT_EQ(fast.engine.events_processed(), slow.engine.events_processed())
+        << sim::to_string(kind);
+    EXPECT_EQ(fast.net->stats().messages, slow.net->stats().messages)
+        << sim::to_string(kind);
+  }
+}
+
+TEST(FastPathDifferential, BatchedBroadcastSharesOneArenaPayload) {
+  // With all-equal delays a 5-receiver broadcast is one aggregate event over
+  // one arena payload; the reference path acquires one payload per receiver.
+  NetFixture fast(sim::DelayKind::kMax, /*batch=*/true);
+  NetFixture slow(sim::DelayKind::kMax, /*batch=*/false);
+  fast.net->broadcast(0, sim::Message{});
+  slow.net->broadcast(0, sim::Message{});
+  EXPECT_EQ(fast.net->arena().acquired(), 1u);
+  EXPECT_EQ(slow.net->arena().acquired(), 5u);
+  fast.engine.run_until(2.0);
+  slow.engine.run_until(2.0);
+  EXPECT_EQ(fast.order, slow.order);
+  // All payloads released after delivery; slots stand by for reuse.
+  EXPECT_EQ(fast.net->arena().live(), 0u);
+  EXPECT_EQ(slow.net->arena().live(), 0u);
+}
+
+}  // namespace
+}  // namespace crusader

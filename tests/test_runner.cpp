@@ -370,13 +370,19 @@ TEST(Cli, EveryEnumeratorReachableFromFlags) {
   }
   for (const auto kind :
        {baselines::ProtocolKind::kCps, baselines::ProtocolKind::kLynchWelch,
-        baselines::ProtocolKind::kSrikanthToueg}) {
+        baselines::ProtocolKind::kSrikanthToueg,
+        baselines::ProtocolKind::kFloodProbe}) {
     bool found = false;
-    for (const auto alias : {"cps", "lw", "st"}) {
+    for (const auto alias : {"cps", "lw", "st", "probe"}) {
       const auto parsed = parse_protocol(alias);
       if (parsed && *parsed == kind) found = true;
     }
     EXPECT_TRUE(found) << baselines::to_string(kind);
+  }
+  for (const auto mode : {CryptoMode::kReal, CryptoMode::kAbstract}) {
+    const auto parsed = parse_crypto_mode(to_string(mode));
+    ASSERT_TRUE(parsed.has_value()) << to_string(mode);
+    EXPECT_EQ(*parsed, mode);
   }
   for (const auto strategy : core::all_byz_strategies()) {
     const auto parsed = parse_byz_strategy(core::to_string(strategy));
@@ -394,6 +400,8 @@ TEST(Cli, ParsersRejectUnknownSpellings) {
   EXPECT_FALSE(parse_relay_fault("").has_value());
   EXPECT_FALSE(parse_delay_kind("uniform").has_value());
   EXPECT_FALSE(parse_byz_strategy("st-accel").has_value());  // flag, not enum
+  EXPECT_FALSE(parse_crypto_mode("symbolic").has_value());  // Pki kind, not mode
+  EXPECT_FALSE(parse_crypto_mode("fast").has_value());
 }
 
 TEST(Cli, CustomDelaySpellingsRoundTrip) {

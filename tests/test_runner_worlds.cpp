@@ -298,6 +298,14 @@ TEST(MixedWorldSweep, GateCountsOutOfSpecRatios) {
   EXPECT_FALSE(violates_gate(infeasible, 1.0));
   EXPECT_TRUE(violates_gate(errored, 1.0));
   EXPECT_TRUE(violates_gate(hung, 1.0));
+
+  // Realizing the bound exactly is conformant: a protocol whose worst case
+  // IS the bound (the flood probe under split delays hits skew == u) lands
+  // at ratio 1 + O(ulp), and --gate=1.0 must not trip on that.
+  ScenarioResult at_bound = ok;
+  at_bound.skew_ratio = 1.0 + 1e-14;
+  at_bound.within_bound = true;
+  EXPECT_FALSE(violates_gate(at_bound, 1.0));
 }
 
 TEST(MixedWorldSweep, GateOnRealSweepPassesAtOne) {
