@@ -21,6 +21,11 @@
 // --history/--gate-trend the dimensionless cost ratio (fast seconds /
 // reference seconds) rides the runner's skew-ratio history machinery so CI
 // can fail when the speedup regresses.
+//
+// E15 — dynamic-network overhead: one flood-probe hypercube cell replayed
+// at increasing churn rates (seeded topology schedules), reporting
+// events/sec alongside the realized local (gradient) vs global skew — the
+// cost and the correctness story of churn in one table.
 
 #include <algorithm>
 #include <chrono>
@@ -90,7 +95,16 @@ struct E14Summary {
   std::uint64_t grid = 0;  ///< digest tying history entries to this config
 };
 
-void write_json(const std::string& path, const E14Summary& s) {
+/// One E15 measurement: the probe cell at one churn rate.
+struct E15Row {
+  double churn_rate = 0.0;
+  double events_per_sec = 0.0;
+  double max_skew = 0.0;
+  double local_skew = 0.0;
+};
+
+void write_json(const std::string& path, const E14Summary& s,
+                const std::vector<E15Row>& churn) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_sweep: cannot write " << path << "\n";
@@ -113,7 +127,17 @@ void write_json(const std::string& path, const E14Summary& s) {
       << "    \"large_n_timed_out\": "
       << (s.large_n_timed_out ? "true" : "false") << ",\n"
       << "    \"grid\": " << s.grid << "\n"
-      << "  }\n"
+      << "  },\n"
+      << "  \"e15\": [\n";
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    const auto& row = churn[i];
+    out << "    {\"churn_rate\": " << row.churn_rate
+        << ", \"events_per_sec\": " << row.events_per_sec
+        << ", \"max_skew\": " << row.max_skew
+        << ", \"local_skew\": " << row.local_skew << "}"
+        << (i + 1 < churn.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n"
       << "}\n";
 }
 
@@ -355,6 +379,49 @@ int run_bench(const std::optional<std::string>& json_path,
   fp_row("batched delivery, abstract crypto", fast);
   bench::print(fp_table);
 
+  // E15: the dynamic-network world's price tag. The same flood-probe
+  // hypercube cell at rising churn rates — churn 0 is the static engine
+  // path (schedule machinery bypassed entirely), so the throughput delta is
+  // the full cost of epoch deltas, flood re-forwarding, and retained-flood
+  // bookkeeping. local vs global skew shows what the gradient metric buys:
+  // the global max is dominated by transients a local (per-edge) lens
+  // filters out.
+  std::vector<E15Row> churn_rows;
+  {
+    runner::SweepGrid churn_grid;
+    churn_grid.worlds = {runner::WorldKind::kRelay};
+    churn_grid.protocols = {baselines::ProtocolKind::kFloodProbe};
+    churn_grid.topologies = {runner::TopologyKind::kHypercube};
+    churn_grid.cryptos = {runner::CryptoMode::kAbstract};
+    churn_grid.ns = {1024};
+    churn_grid.fault_loads = {0};
+    churn_grid.delays = {sim::DelayKind::kSplit};
+    churn_grid.rounds = 8;
+    churn_grid.warmup = 2;
+    churn_grid.churn_rates = {0.0, 0.02, 0.1};
+    const auto churn_specs = churn_grid.expand();
+
+    util::Table churn_table(
+        "E15: churned flood (hypercube 2^10, probe, abstract crypto, 8 "
+        "rounds; churn = fraction of edges rewired per round)");
+    churn_table.set_header({"churn", "live", "events", "seconds",
+                            "events/sec", "max skew", "local skew"});
+    for (const auto& spec : churn_specs) {
+      const auto run = timed_scenario(spec, {});
+      churn_rows.push_back({spec.churn_rate, run.events_per_sec(),
+                            run.result.max_skew, run.result.local_skew});
+      churn_table.add_row(
+          {util::Table::num(spec.churn_rate, 2),
+           run.result.live ? "yes" : "NO",
+           std::to_string(run.result.events),
+           util::Table::num(run.seconds, 3),
+           util::Table::num(run.events_per_sec(), 0),
+           util::Table::num(run.result.max_skew, 4),
+           util::Table::num(run.result.local_skew, 4)});
+    }
+    bench::print(churn_table);
+  }
+
   // E14b: one 2^20-node hypercube flood-probe cell (sparse world at the
   // million-node mark) under a hard wall budget — the cell must finish, not
   // just start.
@@ -392,7 +459,7 @@ int run_bench(const std::optional<std::string>& json_path,
     if (large.result.timed_out) return 1;
   }
 
-  if (json_path) write_json(*json_path, summary);
+  if (json_path) write_json(*json_path, summary, churn_rows);
 
   // Trend gate on the dimensionless cost ratio (fast/reference wall clock):
   // machine speed cancels out, so a rising ratio means the fast path itself

@@ -40,12 +40,25 @@
 //                              theorem5 collapses the axis)
 //   --byz=crash,split          Byzantine strategies (only for faults > 0);
 //                              also accepts st-accel
+//   --churn-rate=0,0.05        per-epoch edge-rewire rates (fraction of the
+//                              live edge set rewired each round; relay-only,
+//                              fault-free cells — a rate of 0 is the static
+//                              network and collapses with the other dynamic
+//                              axes into the classic cell)
+//   --join-batch=0,2           nodes leaving/rejoining per epoch (relay-only;
+//                              node n-1 anchors the beacon and never leaves)
+//   --reconnect=random,repair  reconnect policies for churned edges
+//                              (random|preferential|ring-repair)
 // Scalars:
 //   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
 //   --gate=RATIO   fail (exit 1) when any scenario errored/timed out or any
 //                  feasible completed scenario has max_skew/bound > RATIO —
 //                  or, for theorem5 scenarios, fails to realize its lower
 //                  bound
+//   --gate-local=RATIO  fail (exit 1) when any scenario's local (gradient)
+//                  skew ratio local_skew/bound exceeds RATIO; the natural
+//                  gate for dynamic (churned) cells, where the global gate
+//                  is dominated by partition-transient rounds
 //   --budget-ms=N  per-scenario wall-clock budget: a cell that exhausts it
 //                  is aborted and exported with timed_out=1 instead of
 //                  hanging the sweep
@@ -193,6 +206,7 @@ int main(int argc, char** argv) {
   bool st_accel = false;
   bool n_given = false;
   std::optional<double> gate;
+  std::optional<double> gate_local;
   std::optional<double> gate_trend;
 
   for (int i = 1; i < argc; ++i) {
@@ -326,6 +340,35 @@ int main(int argc, char** argv) {
         }
         if (grid.strategies.empty())
           grid.strategies = {core::ByzStrategy::kCrash};
+      } else if (key == "churn-rate" || key == "churn_rate") {
+        grid.churn_rates.clear();
+        for (const auto& s : split(value)) {
+          const double rate = need_double(key, s);
+          if (rate < 0.0 || rate > 1.0)
+            return fail("--churn-rate takes rates in [0,1], got '" + s + "'");
+          grid.churn_rates.push_back(rate);
+        }
+        if (grid.churn_rates.empty())
+          return fail("--churn-rate needs at least one value");
+      } else if (key == "join-batch" || key == "join_batch") {
+        grid.join_batches.clear();
+        for (const auto& s : split(value)) {
+          const auto batch = need_u64(key, s);
+          if (batch > UINT32_MAX)
+            return fail("--join-batch takes counts >= 0, got '" + s + "'");
+          grid.join_batches.push_back(static_cast<std::uint32_t>(batch));
+        }
+        if (grid.join_batches.empty())
+          return fail("--join-batch needs at least one value");
+      } else if (key == "reconnect") {
+        grid.reconnects.clear();
+        for (const auto& s : split(value)) {
+          const auto policy = runner::parse_reconnect(s);
+          if (!policy) return fail("unknown reconnect policy '" + s + "'");
+          grid.reconnects.push_back(*policy);
+        }
+        if (grid.reconnects.empty())
+          return fail("--reconnect needs at least one value");
       } else if (key == "d") {
         grid.d = need_double(key, value);
       } else if (key == "rounds") {
@@ -343,6 +386,8 @@ int main(int argc, char** argv) {
         options.threads = static_cast<unsigned>(threads);
       } else if (key == "gate") {
         gate = need_double(key, value);
+      } else if (key == "gate-local" || key == "gate_local") {
+        gate_local = need_double(key, value);
       } else if (key == "gate-trend" || key == "gate_trend") {
         const double pct = need_double(key, value);
         if (pct < 0.0)
@@ -415,12 +460,16 @@ int main(int argc, char** argv) {
   // retains a report.
   runner::SweepSummary summary;
   summary.gate_ratio = gate;
+  summary.local_gate_ratio = gate_local;
   bool cps_bound_violated = false;
   auto note = [&](const runner::ScenarioResult& r) {
     summary.add(r);
+    // Dynamic cells are excluded from the CPS auto-gate: the Theorem-17
+    // bound is derived for a fixed topology, and a churned cell answers to
+    // liveness plus the local (gradient) gate instead.
     if (r.spec.protocol == baselines::ProtocolKind::kCps && r.feasible &&
         r.spec.world != runner::WorldKind::kTheorem5 && r.spec.f_actual == 0 &&
-        r.rounds_completed > 0 && !r.within_bound)
+        !r.spec.dynamic() && r.rounds_completed > 0 && !r.within_bound)
       cps_bound_violated = true;
   };
 
@@ -493,6 +542,11 @@ int main(int argc, char** argv) {
   if (gate && summary.gate_violations > 0) {
     std::cerr << "sweep_cli: --gate=" << *gate << " tripped by "
               << summary.gate_violations << " scenario(s)\n";
+    status = 1;
+  }
+  if (gate_local && summary.local_gate_violations > 0) {
+    std::cerr << "sweep_cli: --gate-local=" << *gate_local << " tripped by "
+              << summary.local_gate_violations << " scenario(s)\n";
     status = 1;
   }
 

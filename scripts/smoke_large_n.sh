@@ -28,9 +28,12 @@ mkdir -p "$DIR"
        --format=csv --out="$DIR/large_n.csv"
 
 # Belt and braces over the exit status: the cell must have actually run at
-# scale, not degenerated to an infeasible/empty row.
-row=$(grep 'n=131072' "$DIR/large_n.csv")
-messages=$(echo "$row" | cut -d, -f35)
+# scale, not degenerated to an infeasible/empty row. The column is resolved
+# by header name so schema growth never silently reads a different field.
+messages=$(awk -F, '
+  NR==1 { for (i=1; i<=NF; i++) if ($i == "messages") c=i; next }
+  /n=131072/ { print $c; exit }
+' "$DIR/large_n.csv")
 if [ "$messages" -lt 1000000 ]; then
   echo "ERROR: large-n cell moved only $messages messages" >&2
   exit 1

@@ -53,6 +53,33 @@ RelayAnalysis analyze_worst_hops(const RelayConfig& config) {
   return RelayAnalysis{worst, exact};
 }
 
+RelayAnalysis analyze_schedule_worst_hops(const TopologySchedule& schedule,
+                                          std::uint32_t f) {
+  const std::uint32_t n = schedule.initial().n();
+  // Per-epoch, the excluded set is the concrete down mask — no C(n, f)
+  // subset walk — so exactness only hinges on the source budget.
+  const bool exact = n <= Topology::kWorstCaseSourceBudget;
+  std::uint32_t worst = 0;
+  const std::size_t epochs = schedule.deltas().size();
+  for (std::size_t e = 0; e <= epochs; ++e) {
+    const Topology topo = schedule.at_epoch(e);
+    const std::vector<bool> down = schedule.down_at(e);
+    worst = std::max(worst, topo.worst_distance_with_faults(
+                                down, exact ? 0u : topo.sampled_source_cap()));
+  }
+  if (f > 0) {
+    CS_WARN << "relay: dynamic schedule analyzed with f=" << f
+            << "; D_f covers the realized epoch graphs only, not every "
+               "fault set";
+  }
+  if (!exact) {
+    CS_WARN << "relay: dynamic n=" << n
+            << " exceeds the source budget; per-epoch D_f=" << worst
+            << " is a sampled lower bound";
+  }
+  return RelayAnalysis{worst, exact};
+}
+
 RelayEffective effective_from_hops(const sim::ModelParams& hop,
                                    RelayAnalysis analysis) {
   sim::ModelParams eff = hop;
@@ -76,6 +103,12 @@ sim::ModelParams effective_model(const RelayConfig& config) {
 
 RelayEffective EffectiveCache::get(std::uint64_t key,
                                    const RelayConfig& config) {
+  // The memo key digests static analysis inputs only; a churned cell's
+  // per-epoch analysis must never alias a static family's entry (or another
+  // schedule's). Dynamic cells go through analyze_schedule_worst_hops
+  // directly.
+  CS_CHECK_MSG(config.schedule == nullptr || !config.schedule->dynamic(),
+               "EffectiveCache must not serve dynamic schedules");
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = analyses_.find(key);
@@ -114,6 +147,11 @@ class RelayWorld::NodeHost final : public sim::Env {
       : id_(id), world_(world), node_(std::move(node)) {}
 
   void start() { node_->on_start(*this); }
+
+  /// Leave teardown: the host moves to the graveyard (queued engine closures
+  /// still point at it) and must go silent — queued timers fire into a
+  /// deactivated host and do nothing.
+  void deactivate() { active_ = false; }
 
   /// First copy of a flood processed here (post-hold).
   void process(const sim::Message& m) { node_->on_message(*this, m); }
@@ -157,8 +195,9 @@ class RelayWorld::NodeHost final : public sim::Env {
     const auto& clock = world_->clocks_[id_];
     const double h0 = clock.segments().front().h0;
     const double t = local_time <= h0 ? 0.0 : clock.real(local_time);
-    return world_->engine_.at(std::max(t, world_->engine_.now()),
-                              [this, tag] { node_->on_timer(*this, tag); });
+    return world_->engine_.at(std::max(t, world_->engine_.now()), [this, tag] {
+      if (active_) node_->on_timer(*this, tag);
+    });
   }
   void cancel_timer(sim::TimerId id) override { world_->engine_.cancel(id); }
   void pulse() override {
@@ -177,6 +216,7 @@ class RelayWorld::NodeHost final : public sim::Env {
   NodeId id_;
   RelayWorld* world_;
   std::unique_ptr<sim::PulseNode> node_;
+  bool active_ = true;
   std::unordered_set<std::uint64_t> seen_;  // membership only, never iterated
 };
 
@@ -195,6 +235,18 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
   }
   CS_CHECK_MSG(config_.faulty.size() <= config_.hop_model.f,
                "more faulty nodes than the fault budget");
+  if (config_.schedule != nullptr && config_.schedule->dynamic()) {
+    dynamic_ = true;
+    CS_CHECK_MSG(config_.schedule->initial().n() == n,
+                 "schedule initial graph must match the topology size");
+    CS_CHECK_MSG(config_.faulty.empty(),
+                 "dynamic schedules run fault-free; churn and Byzantine "
+                 "relays are separate regimes");
+    CS_CHECK_MSG(config_.epoch_start > 0.0 && config_.epoch_length > 0.0,
+                 "dynamic schedule needs positive epoch timing");
+    factory_ = factory;
+    recent_.resize(n);
+  }
   adversary_ = std::make_unique<RelayAdversary>(
       config_.fault_kind, config_.topology, faulty_,
       config_.seed ^ 0xada7eULL);
@@ -204,7 +256,17 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
   hop_policy_ = config_.custom_delay
                     ? config_.custom_delay()
                     : sim::make_delay_policy(config_.delay_kind, n);
-  trace_ = std::make_unique<sim::PulseTrace>(n, faulty_);
+  // Churned nodes are excluded from the skew metrics alongside faulty ones:
+  // a torn-down host restarts its protocol from scratch on rejoin, so its
+  // pulse numbering is not comparable with nodes that ran throughout.
+  std::vector<bool> metric_mask = faulty_;
+  if (dynamic_) {
+    const std::vector<bool> churned = config_.schedule->ever_churned();
+    for (NodeId v = 0; v < n; ++v) {
+      if (churned[v]) metric_mask[v] = true;
+    }
+  }
+  trace_ = std::make_unique<sim::PulseTrace>(n, metric_mask);
 
   // Clocks: reuse the world conventions.
   const double s0 = config_.initial_offset;
@@ -241,9 +303,77 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
     // skew metrics regardless).
     hosts_.push_back(std::make_unique<NodeHost>(v, this, factory(v)));
   }
+
+  if (dynamic_) {
+    // Retain forwards long enough to bridge an epoch of disconnection plus
+    // the in-flight horizon of a flood.
+    retention_ = 2.0 * (config_.epoch_length + effective_.d);
+    // Epoch boundary events are scheduled up front, before any protocol
+    // event exists: at an equal timestamp the queue's FIFO tie-break then
+    // fires the delta first, so round r provably runs on at_epoch(r).
+    const std::size_t epochs = config_.schedule->deltas().size();
+    for (std::size_t e = 0; e < epochs; ++e) {
+      const double t =
+          config_.epoch_start + static_cast<double>(e) * config_.epoch_length;
+      if (t > config_.horizon) break;
+      engine_.at(t, [this, e] { apply_delta(e); });
+    }
+  }
 }
 
 RelayWorld::~RelayWorld() = default;
+
+void RelayWorld::apply_delta(std::size_t epoch) {
+  const EpochDelta& delta = config_.schedule->deltas()[epoch];
+  // Joins first: a rejoining node's fresh edges are in `added`, and its new
+  // host must exist before retained floods replay across them. The restarted
+  // protocol instance begins from scratch — convergence into the running
+  // cell is the protocol's problem (and the metrics exclude the node).
+  for (const NodeId v : delta.joins) {
+    CS_CHECK(hosts_[v] == nullptr);
+    hosts_[v] = std::make_unique<NodeHost>(v, this, factory_(v));
+    hosts_[v]->start();
+  }
+  for (const auto& [a, b] : delta.removed) {
+    config_.topology.remove_edge(a, b);
+  }
+  for (const auto& [a, b] : delta.added) {
+    config_.topology.add_edge(a, b);
+    reforward(a, b);
+    reforward(b, a);
+  }
+  for (const NodeId v : delta.leaves) {
+    CS_CHECK(hosts_[v] != nullptr);
+    hosts_[v]->deactivate();
+    graveyard_.push_back(std::move(hosts_[v]));
+    hosts_[v] = nullptr;
+    recent_[v].clear();
+  }
+  // Prune the retention window once per epoch — the only place entries age
+  // out, so the per-node vectors stay bounded by the window's flood count.
+  const double cutoff = engine_.now() - retention_;
+  for (auto& retained : recent_) {
+    retained.erase(std::remove_if(retained.begin(), retained.end(),
+                                  [cutoff](const RetainedFlood& r) {
+                                    return r.seen_at < cutoff;
+                                  }),
+                   retained.end());
+  }
+}
+
+void RelayWorld::reforward(NodeId from, NodeId to) {
+  if (hosts_[from] == nullptr) return;
+  const double lo = config_.hop_model.d - config_.hop_model.u;
+  const double hi = config_.hop_model.d;
+  for (const RetainedFlood& r : recent_[from]) {
+    const double delay =
+        hop_policy_->delay(from, to, engine_.now(), *r.ref, lo, hi, rng_);
+    ++physical_messages_;
+    engine_.at(engine_.now() + delay,
+               [this, to, flood_id = r.flood_id, next_hops = r.hops + 1,
+                ref = r.ref] { hop_deliver(to, flood_id, next_hops, ref); });
+  }
+}
 
 void RelayWorld::flood_from(NodeId origin, const sim::Message& m) {
   const std::uint64_t flood_id = next_flood_++;
@@ -281,6 +411,7 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
       const double t =
           std::max(clocks_[at].real(process_local), engine_.now());
       pending.event = engine_.at(t, [this, at, flood_id, ref]() {
+        if (hosts_[at] == nullptr) return;  // left before the hold expired
         auto& h = *hosts_[at];
         auto pit = h.pending_.find(flood_id);
         if (pit == h.pending_.end() || pit->second.processed) return;
@@ -295,6 +426,11 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
   // holds the full d_hop, reorder pins window extremes) — all still within
   // the model's legal [d_hop − u_hop, d_hop].
   if (!host.first_sight(flood_id)) return;
+  if (dynamic_) {
+    // Record at forward time: whatever this node pushes to its current
+    // neighbors is what a future edge to it must replay.
+    recent_[at].push_back(RetainedFlood{flood_id, hops, ref, engine_.now()});
+  }
   const bool adversarial = faulty_[at];
   const auto& nbrs = config_.topology.neighbors(at);
   const double lo = config_.hop_model.d - config_.hop_model.u;
@@ -329,6 +465,21 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
   std::uint32_t run_count = 0;
   auto flush = [&](std::uint32_t run_end) {
     if (run_count == 0) return;
+    if (dynamic_) {
+      // An epoch delta can rewrite the adjacency list between scheduling
+      // and firing, so the aggregate must capture the neighbor ids, not
+      // indices into a list that may no longer exist.
+      std::vector<NodeId> targets(nbrs.begin() + run_begin,
+                                  nbrs.begin() + run_end + 1);
+      engine_.at(engine_.now() + run_delay,
+                 [this, targets = std::move(targets), flood_id,
+                  next_hops = hops + 1, ref] {
+                   engine_.credit_events(targets.size() - 1);
+                   for (const NodeId next : targets)
+                     hop_deliver(next, flood_id, next_hops, ref);
+                 });
+      return;
+    }
     engine_.at(engine_.now() + run_delay,
                [this, at, i0 = run_begin, i1 = run_end, flood_id,
                 next_hops = hops + 1, ref] {

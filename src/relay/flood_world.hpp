@@ -38,6 +38,7 @@
 
 #include "crypto/signature.hpp"
 #include "relay/adversary.hpp"
+#include "relay/schedule.hpp"
 #include "relay/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/hardware_clock.hpp"
@@ -73,6 +74,18 @@ struct RelayConfig {
   /// payload. Off forces the per-neighbor reference path; results are
   /// identical either way.
   bool batch = true;
+  /// Dynamic-network schedule. Null (or a static schedule) is the historical
+  /// fixed-graph world, byte-identical to the pre-schedule code. When
+  /// dynamic, `topology` must equal schedule->initial(); the world mutates
+  /// its own copy as epoch deltas apply, and `faulty` must be empty (churn
+  /// and Byzantine relays are separate regimes for now).
+  std::shared_ptr<const TopologySchedule> schedule;
+  /// Real time at which epoch delta 0 applies; delta e applies at
+  /// epoch_start + e·epoch_length. Both required positive when the schedule
+  /// is dynamic. The runner aligns them with round boundaries so round r
+  /// runs on schedule->at_epoch(r).
+  double epoch_start = 0.0;
+  double epoch_length = 0.0;
 };
 
 struct RelayRunResult {
@@ -135,6 +148,17 @@ struct RelayEffective {
 [[nodiscard]] RelayEffective effective_from_hops(const sim::ModelParams& hop,
                                                 RelayAnalysis analysis);
 
+/// Dynamic-schedule counterpart of analyze_worst_hops: the worst pairwise
+/// hop distance among *live* nodes, maximized over every epoch graph of the
+/// schedule (down nodes are isolated and passed as the BFS exclusion mask).
+/// This is realized-schedule analysis — D_f for the graphs the run actually
+/// sees — not an adversarial bound over all fault sets; dynamic cells run
+/// fault-free, and `f` only widens the warning when callers combine churn
+/// with a fault budget. Exact (exhaustive sources per epoch) while n fits
+/// the source budget, sampled above it, and deterministic either way.
+[[nodiscard]] RelayAnalysis analyze_schedule_worst_hops(
+    const TopologySchedule& schedule, std::uint32_t f);
+
 /// Thread-safe per-sweep memo for analyze_worst_hops. Keyed by a
 /// caller-provided digest of everything the analysis reads: topology family,
 /// n, f, the instantiated faulty set, and the topology seed for seed-grown
@@ -176,9 +200,26 @@ class RelayWorld {
  private:
   class NodeHost;
 
+  /// One forward a node made, retained (dynamic schedules only) so a newly
+  /// added edge can replay the recent floods its endpoints would have
+  /// exchanged had the edge existed — without this, a message that crossed
+  /// the cut before a rewire is permanently lost and a strict-in-order
+  /// protocol stalls.
+  struct RetainedFlood {
+    std::uint64_t flood_id = 0;
+    std::uint32_t hops = 0;  ///< hop count at which the retainer received it
+    sim::MessageArena::Ref ref;
+    double seen_at = 0.0;
+  };
+
   void flood_from(NodeId origin, const sim::Message& m);
   void hop_deliver(NodeId to, std::uint64_t flood_id, std::uint32_t hops,
                    const sim::MessageArena::Ref& ref);
+  /// Applies schedule delta `epoch` to the live topology/hosts (joins →
+  /// removed → added → leaves) and prunes the retention window.
+  void apply_delta(std::size_t epoch);
+  /// Replays `from`'s retained floods along a just-added edge to `to`.
+  void reforward(NodeId from, NodeId to);
 
   RelayConfig config_;
   sim::ModelParams effective_;
@@ -195,6 +236,16 @@ class RelayWorld {
   std::vector<std::unique_ptr<NodeHost>> hosts_;
   std::uint64_t next_flood_ = 0;
   std::uint64_t physical_messages_ = 0;
+
+  // --- Dynamic-schedule state (inert for static schedules) ----------------
+  bool dynamic_ = false;
+  sim::HonestFactory factory_;  ///< re-registers hosts for joins
+  /// Hosts torn down by leaves. Engine closures capture NodeHost* — the
+  /// object must outlive every queued event, so teardown moves it here
+  /// (deactivated) instead of destroying it.
+  std::vector<std::unique_ptr<NodeHost>> graveyard_;
+  std::vector<std::vector<RetainedFlood>> recent_;  ///< per-node, forward-time
+  double retention_ = 0.0;  ///< real-time window for recent_ entries
 };
 
 }  // namespace crusader::relay

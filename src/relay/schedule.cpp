@@ -1,0 +1,327 @@
+#include "relay/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace crusader::relay {
+namespace {
+
+// Order-sensitive digest fold, same splitmix combine as the scenario digest.
+[[nodiscard]] std::uint64_t fold(std::uint64_t h, std::uint64_t word) noexcept {
+  return util::mix64(h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+[[nodiscard]] bool unordered_eq(const std::pair<NodeId, NodeId>& e, NodeId a,
+                                NodeId b) noexcept {
+  return (e.first == a && e.second == b) || (e.first == b && e.second == a);
+}
+
+/// Accumulates one epoch's net edge changes, keeping `added` and `removed`
+/// disjoint: adding an edge that was removed earlier this epoch cancels the
+/// removal (and vice versa), so the delta describes start-to-end state, not
+/// the generator's intermediate churn.
+struct DeltaBuilder {
+  EpochDelta delta;
+
+  void record_add(NodeId a, NodeId b) {
+    auto& removed = delta.removed;
+    const auto it = std::find_if(removed.begin(), removed.end(),
+                                 [&](const auto& e) { return unordered_eq(e, a, b); });
+    if (it != removed.end()) {
+      removed.erase(it);
+      return;
+    }
+    delta.added.emplace_back(a, b);
+  }
+
+  void record_remove(NodeId a, NodeId b) {
+    auto& added = delta.added;
+    const auto it = std::find_if(added.begin(), added.end(),
+                                 [&](const auto& e) { return unordered_eq(e, a, b); });
+    if (it != added.end()) {
+      added.erase(it);
+      return;
+    }
+    delta.removed.emplace_back(a, b);
+  }
+};
+
+/// BFS reachability over the non-down nodes only. Down nodes are isolated by
+/// construction, so this is the connectivity of the graph the protocol
+/// actually runs on.
+[[nodiscard]] bool live_connected(const Topology& topo,
+                                  const std::vector<bool>& down) {
+  const std::uint32_t n = topo.n();
+  NodeId start = kInvalidNode;
+  std::size_t live = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (down[v]) continue;
+    if (start == kInvalidNode) start = v;
+    ++live;
+  }
+  if (live <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> queue;
+  seen[start] = true;
+  queue.push_back(start);
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const NodeId w : topo.neighbors(v)) {
+      if (seen[w] || down[w]) continue;
+      seen[w] = true;
+      ++reached;
+      queue.push_back(w);
+    }
+  }
+  return reached == live;
+}
+
+/// Uniform live node, or kInvalidNode when the bounded rejection sampling
+/// fails (only possible when almost everything is down).
+[[nodiscard]] NodeId pick_live(util::Rng& rng, const std::vector<bool>& down,
+                               std::uint32_t n) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (!down[v]) return v;
+  }
+  return kInvalidNode;
+}
+
+/// New partner for `keep` under the reconnect policy: a live node not already
+/// adjacent to `keep`. Returns kInvalidNode when no eligible partner is found
+/// within the sampling budget.
+[[nodiscard]] NodeId pick_partner(util::Rng& rng, const Topology& topo,
+                                  const std::vector<bool>& down, NodeId keep,
+                                  ReconnectPolicy policy) {
+  const std::uint32_t n = topo.n();
+  const auto eligible = [&](NodeId c) {
+    return c != keep && !down[c] && !topo.has_edge(keep, c);
+  };
+  switch (policy) {
+    case ReconnectPolicy::kRandom:
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto c = static_cast<NodeId>(rng.below(n));
+        if (eligible(c)) return c;
+      }
+      return kInvalidNode;
+    case ReconnectPolicy::kPreferential: {
+      // Best-degree of a handful of random candidates: a cheap seeded stand-in
+      // for degree-proportional attachment.
+      NodeId best = kInvalidNode;
+      for (int draw = 0; draw < 16; ++draw) {
+        const auto c = static_cast<NodeId>(rng.below(n));
+        if (!eligible(c)) continue;
+        if (best == kInvalidNode ||
+            topo.neighbors(c).size() > topo.neighbors(best).size()) {
+          best = c;
+        }
+      }
+      return best;
+    }
+    case ReconnectPolicy::kRingRepair:
+      // Nearest live non-adjacent node by ring (id) distance, alternating
+      // sides so the repair stays local to the broken span.
+      for (std::uint32_t off = 1; off < n; ++off) {
+        const auto fwd = static_cast<NodeId>((keep + off) % n);
+        if (eligible(fwd)) return fwd;
+        const auto bwd = static_cast<NodeId>((keep + n - off) % n);
+        if (eligible(bwd)) return bwd;
+      }
+      return kInvalidNode;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+const char* to_string(ReconnectPolicy policy) {
+  switch (policy) {
+    case ReconnectPolicy::kRandom:
+      return "random";
+    case ReconnectPolicy::kPreferential:
+      return "preferential";
+    case ReconnectPolicy::kRingRepair:
+      return "ring-repair";
+  }
+  return "?";
+}
+
+TopologySchedule TopologySchedule::static_schedule(Topology initial) {
+  return TopologySchedule(std::move(initial));
+}
+
+TopologySchedule TopologySchedule::generate(const Topology& initial,
+                                            const ChurnPolicy& policy,
+                                            std::uint32_t epochs,
+                                            std::uint64_t seed) {
+  TopologySchedule schedule(initial);
+  if (!policy.dynamic() || epochs == 0) return schedule;
+  CS_CHECK(policy.churn_rate >= 0.0 && policy.churn_rate <= 1.0);
+
+  const std::uint32_t n = initial.n();
+  Topology cur = initial;
+  std::vector<bool> down(n, false);
+  // Adjacency each node had at the moment it left, for ring-repair rejoins
+  // and for sizing the fresh edge set under the other policies.
+  std::vector<std::vector<NodeId>> edges_at_leave(n);
+  std::vector<NodeId> prev_leaves;
+  util::Rng rng(seed);
+
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    DeltaBuilder builder;
+
+    // 1. Rejoin everyone that left last epoch.
+    for (const NodeId v : prev_leaves) {
+      down[v] = false;
+      builder.delta.joins.push_back(v);
+      std::size_t connected = 0;
+      if (policy.reconnect == ReconnectPolicy::kRingRepair) {
+        for (const NodeId p : edges_at_leave[v]) {
+          if (down[p] || cur.has_edge(v, p)) continue;
+          cur.add_edge(v, p);
+          builder.record_add(v, p);
+          ++connected;
+        }
+      } else {
+        const std::size_t want = edges_at_leave[v].size();
+        for (std::size_t k = 0; k < want; ++k) {
+          const NodeId p = pick_partner(rng, cur, down, v, policy.reconnect);
+          if (p == kInvalidNode) break;
+          cur.add_edge(v, p);
+          builder.record_add(v, p);
+          ++connected;
+        }
+      }
+      if (connected == 0) {
+        // Isolation fallback: any live partner keeps the live graph whole.
+        const NodeId p = pick_partner(rng, cur, down, v, ReconnectPolicy::kRandom);
+        CS_CHECK(p != kInvalidNode);
+        cur.add_edge(v, p);
+        builder.record_add(v, p);
+      }
+      edges_at_leave[v].clear();
+    }
+    prev_leaves.clear();
+
+    // 2. Rewire a churn_rate fraction of the live edges. Down nodes are
+    // isolated, so every current edge is a live edge.
+    const auto rewires = static_cast<std::uint64_t>(
+        std::llround(policy.churn_rate * static_cast<double>(cur.edge_count())));
+    for (std::uint64_t r = 0; r < rewires; ++r) {
+      // Node-then-neighbor pick: deterministic and cheap. Slightly biased
+      // toward edges at low-degree nodes, which is fine for a churn model.
+      const NodeId a = pick_live(rng, down, n);
+      if (a == kInvalidNode || cur.neighbors(a).empty()) continue;
+      const NodeId b = cur.neighbors(a)[rng.below(cur.neighbors(a).size())];
+      cur.remove_edge(a, b);
+      if (!live_connected(cur, down)) {
+        cur.add_edge(a, b);  // revert: this edge is a live-graph bridge
+        continue;
+      }
+      const NodeId keep = rng.below(2) == 0 ? a : b;
+      const NodeId p = pick_partner(rng, cur, down, keep, policy.reconnect);
+      if (p == kInvalidNode) {
+        cur.add_edge(a, b);  // no replacement partner: undo the removal
+        continue;
+      }
+      builder.record_remove(a, b);
+      cur.add_edge(keep, p);
+      builder.record_add(keep, p);
+    }
+
+    // 3. Pick this epoch's leavers. Node n−1 never leaves (beacon-style
+    // protocols pin their coordinator there), nodes that just rejoined get
+    // one epoch of grace, and a leave that would disconnect the surviving
+    // live graph is re-drawn.
+    for (std::uint32_t k = 0; k < policy.join_batch; ++k) {
+      std::size_t live = 0;
+      for (NodeId v = 0; v < n; ++v) live += down[v] ? 0 : 1;
+      if (live <= 3) break;  // keep a non-trivial live graph at all times
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const NodeId v = pick_live(rng, down, n);
+        if (v == kInvalidNode || v == n - 1) continue;
+        if (std::find(builder.delta.joins.begin(), builder.delta.joins.end(),
+                      v) != builder.delta.joins.end()) {
+          continue;
+        }
+        const std::vector<NodeId> partners = cur.neighbors(v);
+        for (const NodeId p : partners) cur.remove_edge(v, p);
+        down[v] = true;
+        if (!live_connected(cur, down)) {
+          down[v] = false;
+          for (const NodeId p : partners) cur.add_edge(v, p);
+          continue;
+        }
+        edges_at_leave[v] = partners;
+        for (const NodeId p : partners) builder.record_remove(v, p);
+        builder.delta.leaves.push_back(v);
+        prev_leaves.push_back(v);
+        break;
+      }
+    }
+
+    schedule.deltas_.push_back(std::move(builder.delta));
+  }
+  return schedule;
+}
+
+bool TopologySchedule::dynamic() const noexcept {
+  return std::any_of(deltas_.begin(), deltas_.end(),
+                     [](const EpochDelta& d) { return !d.empty(); });
+}
+
+Topology TopologySchedule::at_epoch(std::size_t epoch) const {
+  Topology topo = initial_;
+  const std::size_t upto = std::min(epoch, deltas_.size());
+  for (std::size_t e = 0; e < upto; ++e) {
+    const EpochDelta& d = deltas_[e];
+    for (const auto& [a, b] : d.removed) topo.remove_edge(a, b);
+    for (const auto& [a, b] : d.added) topo.add_edge(a, b);
+  }
+  return topo;
+}
+
+std::vector<bool> TopologySchedule::down_at(std::size_t epoch) const {
+  std::vector<bool> down(initial_.n(), false);
+  const std::size_t upto = std::min(epoch, deltas_.size());
+  for (std::size_t e = 0; e < upto; ++e) {
+    const EpochDelta& d = deltas_[e];
+    for (const NodeId v : d.joins) down[v] = false;
+    for (const NodeId v : d.leaves) down[v] = true;
+  }
+  return down;
+}
+
+std::vector<bool> TopologySchedule::ever_churned() const {
+  std::vector<bool> churned(initial_.n(), false);
+  for (const EpochDelta& d : deltas_) {
+    for (const NodeId v : d.leaves) churned[v] = true;
+  }
+  return churned;
+}
+
+std::uint64_t TopologySchedule::digest() const noexcept {
+  std::uint64_t h = fold(0x5c4ed01eULL, initial_.n());
+  h = fold(h, initial_.edge_count());
+  for (NodeId v = 0; v < initial_.n(); ++v) {
+    const auto& adj = initial_.neighbors(v);
+    h = fold(h, adj.size());
+    for (const NodeId w : adj) h = fold(h, w);
+  }
+  for (const EpochDelta& d : deltas_) {
+    h = fold(h, 0xe60c4ULL);
+    for (const NodeId v : d.joins) h = fold(h, 0x101ULL + v);
+    for (const auto& [a, b] : d.removed) h = fold(fold(h, 0x202ULL + a), b);
+    for (const auto& [a, b] : d.added) h = fold(fold(h, 0x303ULL + a), b);
+    for (const NodeId v : d.leaves) h = fold(h, 0x404ULL + v);
+  }
+  return h;
+}
+
+}  // namespace crusader::relay

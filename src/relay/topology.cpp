@@ -24,6 +24,17 @@ void Topology::add_edge(NodeId a, NodeId b) {
   ++edges_;
 }
 
+void Topology::remove_edge(NodeId a, NodeId b) {
+  CS_CHECK(a < n() && b < n() && a != b);
+  const auto ita = std::find(adj_[a].begin(), adj_[a].end(), b);
+  if (ita == adj_[a].end()) return;
+  adj_[a].erase(ita);
+  const auto itb = std::find(adj_[b].begin(), adj_[b].end(), a);
+  CS_CHECK(itb != adj_[b].end());
+  adj_[b].erase(itb);
+  --edges_;
+}
+
 bool Topology::has_edge(NodeId a, NodeId b) const {
   CS_CHECK(a < n() && b < n());
   return std::find(adj_[a].begin(), adj_[a].end(), b) != adj_[a].end();

@@ -19,6 +19,11 @@ class Topology {
   explicit Topology(std::uint32_t n);
 
   void add_edge(NodeId a, NodeId b);
+  /// Removes an existing edge (no-op when absent). Preserves the relative
+  /// order of the remaining adjacency entries: neighbor order is part of the
+  /// deterministic flood-forwarding contract, so a rewire must not reshuffle
+  /// the untouched neighbors.
+  void remove_edge(NodeId a, NodeId b);
   [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
   [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId v) const;
   [[nodiscard]] std::uint32_t n() const noexcept {

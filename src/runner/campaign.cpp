@@ -76,7 +76,7 @@ Manifest parse_manifest(const std::string& path, std::string content,
 /// Column indices the replay needs, resolved from the header once.
 struct ReplayColumns {
   std::size_t seed, feasible, live, rounds_completed, within_bound, skew_ratio,
-      timed_out, error;
+      local_skew, local_skew_ratio, timed_out, error;
 };
 
 ReplayColumns resolve_columns(const std::vector<std::string>& header) {
@@ -85,10 +85,16 @@ ReplayColumns resolve_columns(const std::vector<std::string>& header) {
       if (header[i] == name) return i;
     bail("recorded CSV lacks column '" + std::string(name) + "'");
   };
-  return ReplayColumns{find("seed"),          find("feasible"),
-                       find("live"),          find("rounds_completed"),
-                       find("within_bound"),  find("skew_ratio"),
-                       find("timed_out"),     find("error")};
+  return ReplayColumns{find("seed"),
+                       find("feasible"),
+                       find("live"),
+                       find("rounds_completed"),
+                       find("within_bound"),
+                       find("skew_ratio"),
+                       find("local_skew"),
+                       find("local_skew_ratio"),
+                       find("timed_out"),
+                       find("error")};
 }
 
 }  // namespace
@@ -188,6 +194,12 @@ CsvCampaign::CsvCampaign(Options options,
       const auto ratio = parse_double_strict(row[columns.skew_ratio]);
       result.skew_ratio =
           ratio ? *ratio : std::numeric_limits<double>::quiet_NaN();
+      const auto local = parse_double_strict(row[columns.local_skew]);
+      result.local_skew =
+          local ? *local : std::numeric_limits<double>::quiet_NaN();
+      const auto lratio = parse_double_strict(row[columns.local_skew_ratio]);
+      result.local_skew_ratio =
+          lratio ? *lratio : std::numeric_limits<double>::quiet_NaN();
       result.error = row[columns.error];
       if (replay) replay(result);
     }

@@ -106,6 +106,17 @@ std::vector<Field> fields(const ScenarioResult& r) {
            ? "-"
            : (s.f_actual == 0 ? "none" : relay::to_string(s.relay_fault)),
        true});
+  // Dynamic axes: numeric columns are relay-only (empty / JSON null
+  // elsewhere, like d_eff); the reconnect policy only means something on a
+  // dynamic cell, so static rows export the "-" placeholder.
+  add("churn_rate", s.world == WorldKind::kRelay
+                        ? Field{"", fmt(s.churn_rate)}
+                        : Field{"", "", false, true});
+  add("join_batch", s.world == WorldKind::kRelay
+                        ? Field{"", std::to_string(s.join_batch)}
+                        : Field{"", "", false, true});
+  add("reconnect",
+      {"", s.dynamic() ? relay::to_string(s.reconnect) : "-", true});
   add("rounds", {"", std::to_string(s.rounds)});
   add("warmup", {"", std::to_string(s.warmup)});
   add("seed", {"", std::to_string(r.seed)});
@@ -121,6 +132,8 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("predicted_skew", metric(r.predicted_skew));
   add("within_bound", {"", r.within_bound ? "1" : "0"});
   add("skew_ratio", metric(r.skew_ratio));
+  add("local_skew", metric(r.local_skew));
+  add("local_skew_ratio", metric(r.local_skew_ratio));
   add("d_eff", metric(r.d_eff));
   add("u_eff", metric(r.u_eff));
   // Relay-only like d_eff/u_eff: empty (JSON null) where not applicable, so
@@ -128,6 +141,11 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("worst_hops", s.world == WorldKind::kRelay
                         ? Field{"", std::to_string(r.worst_hops)}
                         : Field{"", "", false, true});
+  // Sampled-vs-exact D_f regime as a real column (not just the CS_WARN), so
+  // history analytics can segment sampled cells.
+  add("d_eff_exact", s.world == WorldKind::kRelay
+                         ? Field{"", r.d_eff_exact ? "1" : "0"}
+                         : Field{"", "", false, true});
   add("messages", {"", std::to_string(r.messages)});
   add("events", {"", std::to_string(r.events)});
   add("sign_ops", {"", std::to_string(r.sign_ops)});

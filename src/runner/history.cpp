@@ -46,6 +46,11 @@ HistoryEntry make_history_entry(const SweepSummary& summary,
       ratio.max = w.ratio.max();
       ratio.mean = w.ratio.mean();
     }
+    ratio.lcount = w.local.count();
+    if (ratio.lcount > 0) {
+      ratio.lmax = w.local.max();
+      ratio.lmean = w.local.mean();
+    }
     entry.worlds.push_back(ratio);
   }
   return entry;
@@ -56,9 +61,15 @@ std::string format_history_line(const HistoryEntry& entry) {
   os << "seed=" << entry.seed << " grid=" << entry.grid
      << " cells=" << entry.cells << " errors=" << entry.errors
      << " timed_out=" << entry.timed_out;
-  for (const auto& w : entry.worlds)
+  for (const auto& w : entry.worlds) {
     os << ' ' << to_string(w.world) << ":max=" << fmt(w.max)
        << ",mean=" << fmt(w.mean) << ",count=" << w.count;
+    // Gradient stats ride the same token, appended only when dynamic cells
+    // contributed — grids without churn keep their historical bytes.
+    if (w.lcount > 0)
+      os << ",lmax=" << fmt(w.lmax) << ",lmean=" << fmt(w.lmean)
+         << ",lcount=" << w.lcount;
+  }
   return os.str();
 }
 
@@ -138,10 +149,24 @@ std::optional<HistoryEntry> parse_history_line(std::string_view line) {
           if (!count) return std::nullopt;
           ratio.count = static_cast<std::size_t>(*count);
           count_seen = true;
+        } else if (const auto v = parse_kv(part, "lmax")) {
+          const auto lmax = parse_double_strict(*v);
+          if (!lmax) return std::nullopt;
+          ratio.lmax = *lmax;
+        } else if (const auto v = parse_kv(part, "lmean")) {
+          const auto lmean = parse_double_strict(*v);
+          if (!lmean) return std::nullopt;
+          ratio.lmean = *lmean;
+        } else if (const auto v = parse_kv(part, "lcount")) {
+          const auto lcount = parse_u64_strict(*v);
+          if (!lcount) return std::nullopt;
+          ratio.lcount = static_cast<std::size_t>(*lcount);
         } else {
           return std::nullopt;
         }
       }
+      // The l* tokens are optional (pre-dynamic lines lack them); the
+      // global triple stays mandatory.
       if (!max_seen || !mean_seen || !count_seen) return std::nullopt;
       entry.worlds.push_back(ratio);
     }
@@ -211,6 +236,17 @@ std::vector<std::string> check_trend(
         failures.push_back(std::string(to_string(w.world)) +
                            ": max skew_ratio " + fmt(w.max) + " regressed > " +
                            fmt(pct) + "% over baseline " + fmt(b.max));
+      }
+      // Gradient trend, gated only when both runs measured dynamic cells
+      // (a baseline without churn axes says nothing about local skew).
+      if (w.lcount > 0 && b.lcount > 0) {
+        const double llimit = b.lmax * (1.0 + pct / 100.0) + 1e-12;
+        if (w.lmax > llimit) {
+          failures.push_back(std::string(to_string(w.world)) +
+                             ": max local_skew_ratio " + fmt(w.lmax) +
+                             " regressed > " + fmt(pct) + "% over baseline " +
+                             fmt(b.lmax));
+        }
       }
       break;
     }

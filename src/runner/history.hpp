@@ -42,6 +42,13 @@ struct HistoryEntry {
     double max = 0.0;
     double mean = 0.0;
     std::size_t count = 0;  ///< rows with a finite ratio
+    /// local_skew_ratio stats over the world's *dynamic* cells. lcount == 0
+    /// (no dynamic cells in the grid) omits the lmax/lmean/lcount tokens
+    /// from the formatted line, so pre-dynamic history files and grids
+    /// without churn axes keep their exact bytes.
+    double lmax = 0.0;
+    double lmean = 0.0;
+    std::size_t lcount = 0;
   };
   std::vector<WorldRatio> worlds;
 };

@@ -163,7 +163,10 @@ std::uint64_t relay_analysis_key(const ScenarioSpec& spec,
 }
 
 /// Appendix-A path: flood the protocol over a sparse (f+1)-connected
-/// topology; the bound is Theorem 17 evaluated at the effective model.
+/// topology; the bound is Theorem 17 evaluated at the effective model. A
+/// dynamic spec additionally generates the churn schedule from the scenario
+/// seed and gains the per-epoch d_eff recomputation and the local-skew
+/// series over the round-by-round graphs.
 void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
                      relay::EffectiveCache* cache, ScenarioResult& result) {
   const auto hop_model = spec.model();  // spec.d/u are per-hop here
@@ -184,17 +187,44 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   config.pki_kind = pki_kind_for(spec.crypto);
   config.batch = options.fast_path;
 
+  std::shared_ptr<const relay::TopologySchedule> schedule;
+  if (spec.dynamic()) {
+    CS_CHECK_MSG(spec.f_actual == 0,
+                 "dynamic relay cells run fault-free: churn and Byzantine "
+                 "relays are separate regimes");
+    relay::ChurnPolicy policy;
+    policy.churn_rate = spec.churn_rate;
+    policy.join_batch = spec.join_batch;
+    policy.reconnect = spec.reconnect;
+    // One epoch per round (plus the horizon's tail). Generation is
+    // timing-free — real-time alignment happens below once the round length
+    // is known.
+    schedule = std::make_shared<relay::TopologySchedule>(
+        relay::TopologySchedule::generate(
+            config.topology, policy,
+            static_cast<std::uint32_t>(spec.rounds + 2),
+            result.seed ^ 0x5c4ed7ULL));
+  }
+  const bool dynamic = schedule != nullptr && schedule->dynamic();
+
   // One topology analysis per scenario (memoized across the sweep when a
   // cache is supplied): the RelayEffective feeds the feasibility check, the
-  // CSV columns, and (passed through) the world's hold schedule.
+  // CSV columns, and (passed through) the world's hold schedule. Dynamic
+  // cells bypass the memo — their analysis spans every epoch graph of a
+  // seed-specific schedule, which the static key must never alias (the
+  // cache CS_CHECKs this) — and recompute D_f per epoch instead.
   const auto effective =
-      cache ? cache->get(relay_analysis_key(spec, result.seed), config)
-            : relay::compute_effective(config);
+      dynamic ? relay::effective_from_hops(
+                    hop_model,
+                    relay::analyze_schedule_worst_hops(*schedule, spec.f))
+      : cache ? cache->get(relay_analysis_key(spec, result.seed), config)
+              : relay::compute_effective(config);
   result.d_eff = effective.model.d;
   result.u_eff = effective.model.u;
   // Alongside d_eff/u_eff (not after the run): infeasible rows must still
   // satisfy d_eff = worst_hops · d_hop.
   result.worst_hops = effective.worst_hops;
+  result.d_eff_exact = effective.exact;
 
   const auto setup =
       baselines::make_setup(spec.protocol, effective.model, spec.slack);
@@ -205,6 +235,13 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   config.initial_offset = setup.initial_offset;
   config.horizon = setup.initial_offset +
                    static_cast<double>(spec.rounds + 2) * setup.round_length;
+  if (dynamic) {
+    // Delta e applies at the end of (0-based) round e, so round r runs on
+    // schedule->at_epoch(r) — the same mapping local_skew_series uses.
+    config.schedule = schedule;
+    config.epoch_start = setup.initial_offset + setup.round_length;
+    config.epoch_length = setup.round_length;
+  }
 
   relay::RelayWorld world(
       config,
@@ -223,6 +260,12 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
     fill_skew_metrics(run.trace, spec, result);
     result.within_bound =
         result.max_skew <= result.predicted_skew + options.bound_tolerance;
+    const std::vector<double> series = local_skew_series(
+        run.trace, dynamic ? *schedule
+                           : relay::TopologySchedule::static_schedule(
+                                 config.topology));
+    if (!series.empty())
+      result.local_skew = *std::max_element(series.begin(), series.end());
   }
 }
 
@@ -266,6 +309,8 @@ ScenarioResult run_scenario_cached(const ScenarioSpec& spec,
   result.max_period = kNan;
   result.predicted_skew = kNan;
   result.skew_ratio = kNan;
+  result.local_skew = kNan;
+  result.local_skew_ratio = kNan;
   result.d_eff = kNan;
   result.u_eff = kNan;
 
@@ -296,9 +341,16 @@ ScenarioResult run_scenario_cached(const ScenarioSpec& spec,
         run_theorem5_world(spec, result);
         break;
     }
+    // Complete/Theorem-5 worlds are fully connected: every pair is a live
+    // edge, so the gradient metric degenerates to the global one.
+    if (spec.world != WorldKind::kRelay && result.rounds_completed > 0)
+      result.local_skew = result.max_skew;
     if (result.rounds_completed > 0 && std::isfinite(result.max_skew) &&
         std::isfinite(result.predicted_skew) && result.predicted_skew > 0.0)
       result.skew_ratio = result.max_skew / result.predicted_skew;
+    if (result.rounds_completed > 0 && std::isfinite(result.local_skew) &&
+        std::isfinite(result.predicted_skew) && result.predicted_skew > 0.0)
+      result.local_skew_ratio = result.local_skew / result.predicted_skew;
   } catch (const sim::BudgetExceeded&) {
     // Everything the aborted run measured is discarded, so the row's
     // content does not depend on where the budget happened to trip.
@@ -316,6 +368,38 @@ ScenarioResult run_scenario_cached(const ScenarioSpec& spec,
 std::uint64_t scenario_seed(const ScenarioSpec& spec,
                             std::uint64_t base_seed) noexcept {
   return util::Rng(base_seed).fork(spec.key()).next_u64();
+}
+
+std::vector<double> local_skew_series(const sim::PulseTrace& trace,
+                                      const relay::TopologySchedule& schedule) {
+  const std::size_t rounds = trace.complete_rounds();
+  const std::uint32_t n = trace.n();
+  std::vector<double> series(rounds, 0.0);
+  // Walk the schedule incrementally: round r is measured on at_epoch(r),
+  // then delta r advances the graph for round r + 1.
+  relay::Topology topo = schedule.initial();
+  std::vector<bool> down(n, false);
+  const auto& deltas = schedule.deltas();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    double worst = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (down[v] || trace.is_faulty(v)) continue;
+      for (const NodeId w : topo.neighbors(v)) {
+        if (w < v || down[w] || trace.is_faulty(w)) continue;
+        worst = std::max(worst, std::abs(trace.pulse_time(v, r) -
+                                         trace.pulse_time(w, r)));
+      }
+    }
+    series[r] = worst;
+    if (r < deltas.size()) {
+      const relay::EpochDelta& delta = deltas[r];
+      for (const NodeId v : delta.joins) down[v] = false;
+      for (const auto& [a, b] : delta.removed) topo.remove_edge(a, b);
+      for (const auto& [a, b] : delta.added) topo.add_edge(a, b);
+      for (const NodeId v : delta.leaves) down[v] = true;
+    }
+  }
+  return series;
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec,
@@ -404,7 +488,14 @@ bool violates_gate(const ScenarioResult& result, double max_ratio) {
   // A cell that crashed or ran out of budget did not demonstrate anything —
   // a green gate must mean every cell actually ran.
   if (!result.error.empty() || result.timed_out) return true;
-  if (!result.feasible || result.rounds_completed == 0) return false;
+  if (!result.feasible) return false;
+  // Dynamic cells: Theorem 17's premises lapse mid-churn (a re-forwarded
+  // flood can exceed d_eff), so the ratio is diagnostic only; the cell
+  // demonstrates correctness by surviving the churn live — which also makes
+  // a fully stalled cell (0 rounds) a violation, unlike static infeasible
+  // shapes.
+  if (result.spec.dynamic()) return !result.live;
+  if (result.rounds_completed == 0) return false;
   if (result.spec.world == WorldKind::kTheorem5) return !result.within_bound;
   // Same floating-point headroom as within_bound: a protocol that realizes
   // its bound exactly (the flood probe's skew is exactly u under split
@@ -424,6 +515,9 @@ std::size_t count_gate_violations(const SweepReport& report,
 void SweepSummary::add(const ScenarioResult& result) {
   ++scenarios;
   if (gate_ratio && violates_gate(result, *gate_ratio)) ++gate_violations;
+  if (local_gate_ratio && std::isfinite(result.local_skew_ratio) &&
+      result.local_skew_ratio > *local_gate_ratio + 1e-9)
+    ++local_gate_violations;
   if (result.timed_out) ++timed_out;
   if (!result.error.empty()) {
     ++errors;
@@ -442,6 +536,10 @@ void SweepSummary::add(const ScenarioResult& result) {
     return worlds.back();
   }();
   if (std::isfinite(result.skew_ratio)) world.ratio.add(result.skew_ratio);
+  // Dynamic rows only: folding static cells' local ratio in would append
+  // new tokens to every existing history line (see WorldStats::local).
+  if (result.spec.dynamic() && std::isfinite(result.local_skew_ratio))
+    world.local.add(result.local_skew_ratio);
   if (result.rounds_completed > 0 && !result.within_bound)
     ++world.bound_misses;
 }

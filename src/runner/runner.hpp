@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runner/scenario.hpp"
+#include "sim/trace.hpp"
 #include "util/stats.hpp"
 
 namespace crusader::relay {
@@ -72,11 +73,23 @@ struct ScenarioResult {
   /// max_skew / predicted_skew. For upper-bound worlds ≤ 1 means conformant;
   /// for kTheorem5 ≥ 1 means the construction realized the bound.
   double skew_ratio = 0.0;
+  /// Gradient (KLLO-style) metric: max over rounds of the round's worst
+  /// |p_i − p_j| over *currently live* edges of that round's graph. For
+  /// kComplete/kTheorem5 every pair is an edge, so it equals max_skew; for
+  /// kRelay it is at most max_skew and the correctness lens for dynamic
+  /// cells, where the global bound's premises lapse mid-churn.
+  double local_skew = 0.0;
+  /// local_skew / predicted_skew (same denominator as skew_ratio).
+  double local_skew_ratio = 0.0;
   /// Effective complete-graph model the relay overlay presented to the
   /// protocol (NaN for other worlds).
   double d_eff = 0.0;
   double u_eff = 0.0;
   std::uint32_t worst_hops = 0;  ///< relay D_f (0 elsewhere)
+  /// Relay only: whether worst_hops came from the exhaustive walk (true) or
+  /// the budget-bounded sample (false) — the CSV column history analytics
+  /// use to segment sampled cells.
+  bool d_eff_exact = false;
   /// kComplete/kRelay: max_skew <= predicted_skew (+tolerance).
   /// kTheorem5: the realized skew reached the lower bound (bound_holds).
   /// Only meaningful within the protocol's resilience; recorded regardless.
@@ -143,12 +156,23 @@ void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
 [[nodiscard]] SweepReport run_sweep(const std::vector<ScenarioSpec>& specs,
                                     const RunnerOptions& options = {});
 
+/// Per-round local skew: for each complete round r, the worst |p_i(r) −
+/// p_j(r)| over edges of the round-r graph (schedule.at_epoch(r), down
+/// nodes and metrics-excluded nodes skipped). Static topologies pass a
+/// degenerate schedule. Exposed for the dynamic-world tests, which assert
+/// the series exists for every complete round and never exceeds the global
+/// per-round skew.
+[[nodiscard]] std::vector<double> local_skew_series(
+    const sim::PulseTrace& trace, const relay::TopologySchedule& schedule);
+
 /// Regression-gate predicate for one row: errored and timed-out scenarios
 /// always violate (a green gate means every cell actually ran); infeasible
-/// rows never do (the protocol provably cannot run there); completed rows
-/// violate when their realized-vs-bound ratio is out of spec — skew_ratio >
-/// max_ratio for upper-bound worlds, bound not realized (within_bound ==
-/// false) for kTheorem5.
+/// rows never do (the protocol provably cannot run there); dynamic cells
+/// violate by failing liveness (Theorem 17's premises lapse mid-churn, so
+/// the ratio is diagnostic, not a gate — use SweepSummary's local gate for
+/// that); completed static rows violate when their realized-vs-bound ratio
+/// is out of spec — skew_ratio > max_ratio for upper-bound worlds, bound
+/// not realized (within_bound == false) for kTheorem5.
 [[nodiscard]] bool violates_gate(const ScenarioResult& result,
                                  double max_ratio);
 
@@ -162,17 +186,28 @@ void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
 struct SweepSummary {
   /// When set, add() also counts violates_gate(result, *gate_ratio).
   std::optional<double> gate_ratio;
+  /// When set, add() also counts rows whose local_skew_ratio exceeds it
+  /// (rows with no finite local ratio never count — errors and timeouts are
+  /// the main gate's business). This is the world-aware gradient gate: it
+  /// binds wherever the local metric is defined, including dynamic cells
+  /// where the global ratio gate is suspended.
+  std::optional<double> local_gate_ratio;
 
   std::size_t scenarios = 0;
   std::size_t errors = 0;
   std::size_t timed_out = 0;
   std::size_t infeasible = 0;
   std::size_t gate_violations = 0;
+  std::size_t local_gate_violations = 0;
 
   struct WorldStats {
     WorldKind world = WorldKind::kComplete;
     /// Over rows with a finite skew_ratio (completed, bound defined).
     util::OnlineStats ratio;
+    /// Over *dynamic* rows with a finite local_skew_ratio. Static cells are
+    /// deliberately excluded: their local metric would append new tokens to
+    /// every existing history line, breaking byte-compatibility.
+    util::OnlineStats local;
     /// Completed rows whose within_bound check failed.
     std::size_t bound_misses = 0;
   };

@@ -118,6 +118,15 @@ std::optional<CryptoMode> parse_crypto_mode(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<relay::ReconnectPolicy> parse_reconnect(std::string_view s) {
+  if (s == "random") return relay::ReconnectPolicy::kRandom;
+  if (s == "preferential" || s == "pref")
+    return relay::ReconnectPolicy::kPreferential;
+  if (s == "ring-repair" || s == "repair")
+    return relay::ReconnectPolicy::kRingRepair;
+  return std::nullopt;
+}
+
 std::string CustomDelaySpec::spelling() const {
   switch (kind) {
     case Kind::kAlternate:
@@ -245,6 +254,11 @@ std::string ScenarioSpec::name() const {
   if (f_actual > 0 && world == WorldKind::kRelay)
     os << " fault=" << relay::to_string(relay_fault);
   if (crypto != CryptoMode::kReal) os << " crypto=" << to_string(crypto);
+  if (dynamic()) {
+    os << " churn=" << churn_rate;
+    if (join_batch > 0) os << " join=" << join_batch;
+    os << " reconnect=" << relay::to_string(reconnect);
+  }
   return os.str();
 }
 
@@ -284,6 +298,15 @@ std::uint64_t ScenarioSpec::key() const noexcept {
   // resume journals, and history baselines) bit-for-bit.
   if (crypto != CryptoMode::kReal)
     h = fold(h, 0xab57ac7u + static_cast<std::uint64_t>(crypto));
+  // Same append-at-end pattern for the dynamic axes: only an active churn
+  // point forks the digest, so static cells (and with them every historical
+  // seed, resume journal, and history baseline) are byte-preserved.
+  if (churn_rate != 0.0 || join_batch != 0) {
+    h = fold(h, std::uint64_t{0xc4124e});
+    h = fold(h, churn_rate);
+    h = fold(h, static_cast<std::uint64_t>(join_batch));
+    h = fold(h, static_cast<std::uint64_t>(reconnect));
+  }
   return h;
 }
 
@@ -347,6 +370,25 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   for (const auto kind : delays) delay_axis.push_back({kind, std::nullopt});
   for (const auto& custom : custom_delays)
     delay_axis.push_back({sim::DelayKind::kRandom, custom});
+
+  // Dynamic axes, innermost. Inert combinations normalize to the canonical
+  // static point (churn=0, join=0, random) so rate=0 × several reconnect
+  // policies collapses to one cell via digest dedup.
+  struct ChurnPoint {
+    double rate = 0.0;
+    std::uint32_t batch = 0;
+    relay::ReconnectPolicy reconnect = relay::ReconnectPolicy::kRandom;
+  };
+  std::vector<ChurnPoint> churn_axis;
+  for (const double rate : churn_rates) {
+    for (const std::uint32_t batch : join_batches) {
+      for (const auto policy : reconnects) {
+        churn_axis.push_back(rate > 0.0 || batch > 0
+                                 ? ChurnPoint{rate, batch, policy}
+                                 : ChurnPoint{});
+      }
+    }
+  }
 
   for (const auto world : worlds) {
     const bool relay = world == WorldKind::kRelay;
@@ -434,6 +476,18 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                         // axis instead of the (complete-world) strategies.
                         for (const auto fault : relay_faults) {
                           spec.relay_fault = fault;
+                          push(spec);
+                        }
+                        continue;
+                      }
+                      if (relay && faults == 0) {
+                        // Only fault-free relay points take the dynamic
+                        // axes: churn and Byzantine relays are separate
+                        // regimes, and the other worlds have no schedule.
+                        for (const auto& churn : churn_axis) {
+                          spec.churn_rate = churn.rate;
+                          spec.join_batch = churn.batch;
+                          spec.reconnect = churn.reconnect;
                           push(spec);
                         }
                         continue;

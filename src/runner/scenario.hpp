@@ -17,6 +17,7 @@
 #include "baselines/factories.hpp"
 #include "core/adversaries.hpp"
 #include "relay/adversary.hpp"
+#include "relay/schedule.hpp"
 #include "sim/model.hpp"
 #include "sim/network.hpp"
 #include "sim/world.hpp"
@@ -81,6 +82,8 @@ enum class CryptoMode { kReal, kAbstract };
 [[nodiscard]] std::optional<relay::RelayFaultKind> parse_relay_fault(
     std::string_view s);
 [[nodiscard]] std::optional<CryptoMode> parse_crypto_mode(std::string_view s);
+[[nodiscard]] std::optional<relay::ReconnectPolicy> parse_reconnect(
+    std::string_view s);
 
 /// CLI spelling for WorldConfig::custom_delay / RelayConfig::custom_delay —
 /// the delay policies that have no DelayKind enumerator:
@@ -168,6 +171,20 @@ struct ScenarioSpec {
   /// kReal and only kAbstract folds into key() — existing digests, seeds,
   /// and history files are untouched.
   CryptoMode crypto = CryptoMode::kReal;
+  /// Dynamic-network axes (kRelay only; inert defaults everywhere else).
+  /// churn_rate is the expected fraction of live edges rewired per round and
+  /// join_batch the nodes leaving (rejoining one round later) per round; the
+  /// reconnect policy shapes the replacement edges. Like the crypto axis
+  /// these fold into key() only when active, so every static spec keeps its
+  /// historical digest, seed, and history lines bit-for-bit.
+  double churn_rate = 0.0;
+  std::uint32_t join_batch = 0;
+  relay::ReconnectPolicy reconnect = relay::ReconnectPolicy::kRandom;
+
+  /// Whether this cell runs on a time-varying topology.
+  [[nodiscard]] bool dynamic() const noexcept {
+    return world == WorldKind::kRelay && (churn_rate > 0.0 || join_batch > 0);
+  }
 
   [[nodiscard]] sim::ModelParams model() const;
 
@@ -184,8 +201,8 @@ struct ScenarioSpec {
 
 /// Axis lists expanded into the cross product of ScenarioSpecs. Expansion
 /// order (outer to inner): world, protocol, n, topology, fault load,
-/// vartheta, u, u_tilde, delay, clocks, strategy/relay-fault. Axes that a
-/// world cannot express collapse to one spec instead of multiplying:
+/// vartheta, u, u_tilde, delay, clocks, strategy/relay-fault, churn. Axes
+/// that a world cannot express collapse to one spec instead of multiplying:
 ///  * fault-free grid points ignore the strategy and relay-fault axes;
 ///  * kComplete ignores the topology and relay-fault axes;
 ///  * kRelay ignores the strategy axis (faulty relays misbehave per the
@@ -224,6 +241,14 @@ struct SweepGrid {
   /// Crypto-mode axis (kTheorem5 collapses to kReal — the construction's
   /// adversary forges nothing, so the axis has no effect there).
   std::vector<CryptoMode> cryptos{CryptoMode::kReal};
+  /// Dynamic-network axes, expanded innermost. Only fault-free kRelay grid
+  /// points multiply by them (churn and Byzantine relays are separate
+  /// regimes); every other point — and every inert combination — collapses
+  /// to the single static cell via digest dedup.
+  std::vector<double> churn_rates{0.0};
+  std::vector<std::uint32_t> join_batches{0};
+  std::vector<relay::ReconnectPolicy> reconnects{
+      relay::ReconnectPolicy::kRandom};
   double d = 1.0;
   std::size_t rounds = 20;
   std::size_t warmup = 5;

@@ -1,0 +1,443 @@
+// Dynamic-network world: seeded topology schedules (churn), their runner
+// integration, and the gradient (local-skew) metrics. The anchor guarantees:
+// schedules replay deterministically from (seed, policy), static cells stay
+// byte-identical to the pre-dynamic sweep surface, and churned cells stay
+// live with local_skew bounded by the global skew row for row.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cps.hpp"
+#include "core/params.hpp"
+#include "relay/flood_world.hpp"
+#include "relay/schedule.hpp"
+#include "relay/topology.hpp"
+#include "runner/campaign.hpp"
+#include "runner/export.hpp"
+#include "runner/history.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "util/check.hpp"
+
+namespace crusader::runner {
+namespace {
+
+constexpr std::uint32_t kInfDist = std::numeric_limits<std::uint32_t>::max();
+
+relay::ChurnPolicy churn_policy(double rate, std::uint32_t batch,
+                                relay::ReconnectPolicy reconnect =
+                                    relay::ReconnectPolicy::kRandom) {
+  relay::ChurnPolicy policy;
+  policy.churn_rate = rate;
+  policy.join_batch = batch;
+  policy.reconnect = reconnect;
+  return policy;
+}
+
+/// Every pair of live nodes can reach each other through live nodes only.
+void expect_live_connected(const relay::Topology& topo,
+                           const std::vector<bool>& down) {
+  for (NodeId s = 0; s < topo.n(); ++s) {
+    if (down[s]) continue;
+    for (NodeId t = s + 1; t < topo.n(); ++t) {
+      if (down[t]) continue;
+      ASSERT_NE(topo.distance(s, t, down), kInfDist)
+          << "live pair " << s << "-" << t << " disconnected";
+    }
+  }
+}
+
+TEST(Schedule, GenerateReplaysExactlyFromSeedAndPolicy) {
+  const auto topo = relay::Topology::hypercube(4);  // n = 16
+  const auto policy =
+      churn_policy(0.2, 2, relay::ReconnectPolicy::kPreferential);
+  const auto a = relay::TopologySchedule::generate(topo, policy, 12, 99);
+  const auto b = relay::TopologySchedule::generate(topo, policy, 12, 99);
+  EXPECT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.deltas().size(), b.deltas().size());
+  for (std::size_t e = 0; e < a.deltas().size(); ++e) {
+    EXPECT_EQ(a.deltas()[e].joins, b.deltas()[e].joins) << "epoch " << e;
+    EXPECT_EQ(a.deltas()[e].removed, b.deltas()[e].removed) << "epoch " << e;
+    EXPECT_EQ(a.deltas()[e].added, b.deltas()[e].added) << "epoch " << e;
+    EXPECT_EQ(a.deltas()[e].leaves, b.deltas()[e].leaves) << "epoch " << e;
+  }
+  EXPECT_TRUE(a.dynamic());
+
+  // A different seed or a different policy realizes a different schedule.
+  EXPECT_NE(a.digest(),
+            relay::TopologySchedule::generate(topo, policy, 12, 100).digest());
+  EXPECT_NE(a.digest(),
+            relay::TopologySchedule::generate(
+                topo, churn_policy(0.2, 2, relay::ReconnectPolicy::kRandom),
+                12, 99)
+                .digest());
+}
+
+TEST(Schedule, EveryEpochGraphIsLiveConnectedWithIsolatedDownNodes) {
+  const auto topo = relay::Topology::hypercube(4);
+  for (const auto reconnect : {relay::ReconnectPolicy::kRandom,
+                               relay::ReconnectPolicy::kPreferential,
+                               relay::ReconnectPolicy::kRingRepair}) {
+    const auto schedule = relay::TopologySchedule::generate(
+        topo, churn_policy(0.25, 3, reconnect), 10, 7);
+    for (std::size_t e = 0; e <= schedule.deltas().size(); ++e) {
+      const auto graph = schedule.at_epoch(e);
+      const auto down = schedule.down_at(e);
+      ASSERT_EQ(down.size(), graph.n());
+      // The beacon anchor (node n-1) never leaves.
+      EXPECT_FALSE(down[graph.n() - 1]) << "epoch " << e;
+      for (NodeId v = 0; v < graph.n(); ++v)
+        if (down[v])
+          EXPECT_TRUE(graph.neighbors(v).empty())
+              << "down node " << v << " keeps edges at epoch " << e;
+      expect_live_connected(graph, down);
+    }
+  }
+}
+
+TEST(Schedule, StaticScheduleIsDegenerate) {
+  const auto topo = relay::Topology::ring(8);
+  const auto schedule = relay::TopologySchedule::static_schedule(topo);
+  EXPECT_FALSE(schedule.dynamic());
+  // No node is ever masked out of the skew metrics on a static schedule.
+  const auto churned = schedule.ever_churned();
+  EXPECT_EQ(std::count(churned.begin(), churned.end(), true), 0);
+  EXPECT_TRUE(schedule.deltas().empty());
+  EXPECT_EQ(schedule.at_epoch(5).edge_count(), topo.edge_count());
+  EXPECT_FALSE(churn_policy(0.0, 0).dynamic());
+  EXPECT_TRUE(churn_policy(0.1, 0).dynamic());
+  EXPECT_TRUE(churn_policy(0.0, 1).dynamic());
+}
+
+TEST(Spec, InertChurnAxesLeaveStaticKeysUntouched) {
+  ScenarioSpec spec;
+  spec.world = WorldKind::kRelay;
+  spec.topology = TopologyKind::kRing;
+  spec.n = 8;
+  const auto static_key = spec.key();
+  EXPECT_EQ(spec.name().find("churn="), std::string::npos);
+
+  // The reconnect policy means nothing without churn: it must not fork the
+  // memo key (or the scenario seed derived from it).
+  spec.reconnect = relay::ReconnectPolicy::kRingRepair;
+  EXPECT_EQ(spec.key(), static_key);
+  EXPECT_FALSE(spec.dynamic());
+
+  // Any real churn forks the key, and the reconnect policy forks it further.
+  spec.churn_rate = 0.1;
+  EXPECT_TRUE(spec.dynamic());
+  const auto churned_key = spec.key();
+  EXPECT_NE(churned_key, static_key);
+  EXPECT_NE(spec.name().find("churn=0.1"), std::string::npos) << spec.name();
+  spec.reconnect = relay::ReconnectPolicy::kRandom;
+  EXPECT_NE(spec.key(), churned_key);
+}
+
+TEST(Grid, InertChurnCellsCollapseIntoTheClassicGrid) {
+  SweepGrid base;
+  base.worlds = {WorldKind::kRelay};
+  base.protocols = {baselines::ProtocolKind::kFloodProbe};
+  base.ns = {8};
+  base.fault_loads = {0, SweepGrid::kMaxResilience};
+  base.topologies = {TopologyKind::kRing};
+  base.rounds = 4;
+  const auto plain = base.expand();
+
+  // churn_rate 0 × every reconnect policy is ONE static cell, not three.
+  auto inert = base;
+  inert.churn_rates = {0.0};
+  inert.join_batches = {0};
+  inert.reconnects = {relay::ReconnectPolicy::kRandom,
+                      relay::ReconnectPolicy::kPreferential,
+                      relay::ReconnectPolicy::kRingRepair};
+  const auto collapsed = inert.expand();
+  ASSERT_EQ(collapsed.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(collapsed[i].key(), plain[i].key()) << "position " << i;
+
+  // A real churn axis adds dynamic cells (fault-free relay points only)
+  // while keeping every classic cell.
+  auto churned = base;
+  churned.churn_rates = {0.0, 0.2};
+  const auto grown = churned.expand();
+  EXPECT_GT(grown.size(), plain.size());
+  std::size_t dynamic_cells = 0;
+  for (const auto& spec : grown) {
+    if (spec.dynamic()) {
+      ++dynamic_cells;
+      EXPECT_EQ(spec.f_actual, 0u);
+    }
+  }
+  EXPECT_GT(dynamic_cells, 0u);
+}
+
+/// Dynamic sweep grid shared by the determinism tests: static and churned
+/// cells (rewires and membership churn) across two reconnect policies.
+std::vector<ScenarioSpec> dynamic_specs() {
+  SweepGrid grid;
+  grid.worlds = {WorldKind::kRelay};
+  grid.protocols = {baselines::ProtocolKind::kFloodProbe};
+  grid.ns = {12};
+  grid.fault_loads = {0};
+  grid.topologies = {TopologyKind::kChordalRing};
+  grid.churn_rates = {0.0, 0.15};
+  grid.join_batches = {0, 1};
+  grid.reconnects = {relay::ReconnectPolicy::kRandom,
+                     relay::ReconnectPolicy::kRingRepair};
+  grid.us = {0.02};
+  grid.varthetas = {1.002};
+  grid.rounds = 6;
+  grid.warmup = 2;
+  return grid.expand();
+}
+
+TEST(Dynamic, StreamedCsvByteIdenticalAcrossThreadCounts) {
+  const auto specs = dynamic_specs();
+  ASSERT_GE(specs.size(), 4u);
+  std::string csv[2];
+  const unsigned threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions options;
+    options.threads = threads[i];
+    std::ostringstream os;
+    os << csv_header() << '\n';
+    run_sweep_streamed(specs, options, [&](const ScenarioResult& r) {
+      write_csv_row(os, r);
+    });
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+}
+
+TEST(Dynamic, CampaignResumeAfterKillIsByteIdentical) {
+  const auto specs = dynamic_specs();
+  ASSERT_GE(specs.size(), 5u);
+  const std::string dir = ::testing::TempDir();
+  const std::string clean_csv = dir + "/dynamic_clean.csv";
+  const std::string clean_manifest = dir + "/dynamic_clean.manifest";
+  const std::string csv = dir + "/dynamic_killed.csv";
+  const std::string manifest = dir + "/dynamic_killed.manifest";
+  for (const auto& p : {clean_csv, clean_manifest, csv, manifest})
+    std::filesystem::remove(p);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+  };
+
+  {
+    CsvCampaign campaign({clean_csv, clean_manifest, 2, 1}, specs);
+    run_sweep_streamed(specs, {},
+                       [&](const ScenarioResult& r) { campaign.append(r); });
+    campaign.finish();
+  }
+  const std::string clean = slurp(clean_csv);
+
+  {
+    CsvCampaign campaign({csv, manifest, 2, 1}, specs);
+    for (std::size_t i = 0; i < 3; ++i) campaign.append(run_scenario(specs[i]));
+    // no finish(): simulated kill mid-campaign
+  }
+  std::size_t replayed = 0;
+  CsvCampaign resumed({csv, manifest, 2, 1}, specs,
+                      [&](const ScenarioResult& r) {
+                        EXPECT_TRUE(std::isfinite(r.local_skew) ||
+                                    r.rounds_completed == 0);
+                        ++replayed;
+                      });
+  EXPECT_EQ(replayed, resumed.resume_index());
+  RunnerOptions options;
+  options.threads = 4;
+  const std::vector<ScenarioSpec> todo(specs.begin() + resumed.resume_index(),
+                                       specs.end());
+  run_sweep_streamed(todo, options,
+                     [&](const ScenarioResult& r) { resumed.append(r); });
+  resumed.finish();
+  EXPECT_EQ(slurp(csv), clean);
+  for (const auto& p : {clean_csv, clean_manifest, csv, manifest})
+    std::filesystem::remove(p);
+}
+
+TEST(Dynamic, FastPathAndPlainPathRowsAreIdentical) {
+  // The batched MessageArena fast path must stay trace-identical under a
+  // mutating topology (joins, leaves, rewires mid-run).
+  for (const auto& spec : dynamic_specs()) {
+    RunnerOptions fast;
+    RunnerOptions plain;
+    plain.fast_path = false;
+    std::ostringstream fast_row;
+    write_csv_row(fast_row, run_scenario(spec, fast));
+    std::ostringstream plain_row;
+    write_csv_row(plain_row, run_scenario(spec, plain));
+    EXPECT_EQ(fast_row.str(), plain_row.str()) << spec.name();
+  }
+}
+
+TEST(Dynamic, LocalSkewIsBoundedByGlobalSkewRowWise) {
+  auto specs = dynamic_specs();
+  // A complete-world cell rides along: its local skew degenerates to the
+  // global max (every pair is an edge).
+  ScenarioSpec flat;
+  flat.rounds = 5;
+  flat.warmup = 1;
+  specs.push_back(flat);
+  for (const auto& spec : specs) {
+    const auto result = run_scenario(spec);
+    ASSERT_TRUE(result.error.empty()) << spec.name() << ": " << result.error;
+    if (result.rounds_completed == 0) continue;
+    EXPECT_TRUE(std::isfinite(result.local_skew)) << spec.name();
+    EXPECT_LE(result.local_skew, result.max_skew + 1e-12) << spec.name();
+    if (spec.world == WorldKind::kComplete)
+      EXPECT_EQ(result.local_skew, result.max_skew);
+    if (std::isfinite(result.predicted_skew) && result.predicted_skew > 0.0)
+      EXPECT_NEAR(result.local_skew_ratio,
+                  result.local_skew / result.predicted_skew, 1e-12);
+  }
+}
+
+TEST(Dynamic, PerRoundLocalSkewSeriesCoversEveryCompletedRound) {
+  // Direct world run (the runner only exports the series max): one local
+  // skew sample per completed round, measured on that round's live graph.
+  relay::RelayConfig config;
+  config.topology = relay::Topology::hypercube(4);
+  config.hop_model.n = 16;
+  config.hop_model.f = 0;
+  config.hop_model.d = 1.0;
+  config.hop_model.u = 0.01;
+  config.hop_model.u_tilde = 0.01;
+  config.hop_model.vartheta = 1.001;
+  config.seed = 11;
+
+  auto schedule = std::make_shared<relay::TopologySchedule>(
+      relay::TopologySchedule::generate(config.topology, churn_policy(0.2, 1),
+                                        10, 21));
+  ASSERT_TRUE(schedule->dynamic());
+  const auto effective = relay::effective_from_hops(
+      config.hop_model, relay::analyze_schedule_worst_hops(*schedule, 0));
+  const auto params = core::derive_cps_params(effective.model);
+  ASSERT_TRUE(params.feasible);
+  const std::size_t rounds = 8;
+  config.initial_offset = params.S;
+  config.horizon = params.S + (rounds + 2) * params.p_max;
+  config.schedule = schedule;
+  config.epoch_start = config.initial_offset + params.p_max;
+  config.epoch_length = params.p_max;
+
+  core::CpsConfig cps;
+  cps.params = params;
+  relay::RelayWorld world(
+      config, [cps](NodeId) { return std::make_unique<core::CpsNode>(cps); },
+      effective);
+  const auto run = world.run();
+  ASSERT_TRUE(run.trace.live(rounds));
+
+  const auto series = local_skew_series(run.trace, *schedule);
+  ASSERT_EQ(series.size(), run.trace.skews().size());
+  ASSERT_GE(series.size(), rounds);
+  double worst = 0.0;
+  for (const double s : series) {
+    ASSERT_TRUE(std::isfinite(s));
+    ASSERT_GE(s, 0.0);
+    worst = std::max(worst, s);
+  }
+  EXPECT_LE(worst, run.trace.max_skew() + 1e-12);
+}
+
+TEST(Dynamic, LargeChurnedCellCompletesLive) {
+  // The headline acceptance cell: n = 256 under real churn completes every
+  // round, with the gradient metric exported and bounded by the global skew.
+  ScenarioSpec spec;
+  spec.world = WorldKind::kRelay;
+  spec.protocol = baselines::ProtocolKind::kFloodProbe;
+  spec.topology = TopologyKind::kHypercube;
+  spec.crypto = CryptoMode::kAbstract;
+  spec.n = 256;
+  spec.churn_rate = 0.05;
+  spec.rounds = 6;
+  spec.warmup = 2;
+  const auto result = run_scenario(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.live);
+  EXPECT_EQ(result.rounds_completed, spec.rounds);
+  EXPECT_TRUE(std::isfinite(result.local_skew));
+  EXPECT_LE(result.local_skew, result.max_skew + 1e-12);
+  EXPECT_TRUE(result.d_eff_exact);  // n = 256 is within the exact budget
+  EXPECT_FALSE(violates_gate(result, 1e9));
+}
+
+TEST(Dynamic, EffectiveCacheRefusesDynamicSchedules) {
+  // The memo key does not fold the schedule, so serving a dynamic cell from
+  // the cache would silently reuse a static analysis.
+  relay::RelayConfig config;
+  config.topology = relay::Topology::ring(8);
+  config.hop_model.n = 8;
+  config.hop_model.f = 0;
+  config.hop_model.d = 1.0;
+  config.hop_model.u = 0.01;
+  config.hop_model.u_tilde = 0.01;
+  config.hop_model.vartheta = 1.001;
+  relay::EffectiveCache cache;
+  EXPECT_NO_THROW((void)cache.get(1, config));
+  config.schedule = std::make_shared<relay::TopologySchedule>(
+      relay::TopologySchedule::generate(config.topology, churn_policy(0.2, 0),
+                                        6, 3));
+  ASSERT_TRUE(config.schedule->dynamic());
+  EXPECT_THROW((void)cache.get(2, config), util::CheckFailure);
+}
+
+TEST(History, GradientTokensAreOptionalAndRoundTrip) {
+  HistoryEntry entry;
+  entry.seed = 3;
+  entry.cells = 12;
+  HistoryEntry::WorldRatio relay_ratio;
+  relay_ratio.world = WorldKind::kRelay;
+  relay_ratio.max = 0.75;
+  relay_ratio.mean = 0.5;
+  relay_ratio.count = 12;
+  entry.worlds.push_back(relay_ratio);
+
+  // Without dynamic cells the line is byte-compatible with the pre-dynamic
+  // format: no l* tokens at all.
+  const auto static_line = format_history_line(entry);
+  EXPECT_EQ(static_line.find("lmax"), std::string::npos) << static_line;
+  const auto static_parsed = parse_history_line(static_line);
+  ASSERT_TRUE(static_parsed.has_value());
+  EXPECT_EQ(static_parsed->worlds[0].lcount, 0u);
+
+  entry.worlds[0].lmax = 0.9;
+  entry.worlds[0].lmean = 0.6;
+  entry.worlds[0].lcount = 4;
+  const auto line = format_history_line(entry);
+  const auto parsed = parse_history_line(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->worlds[0].lmax, 0.9);
+  EXPECT_EQ(parsed->worlds[0].lmean, 0.6);
+  EXPECT_EQ(parsed->worlds[0].lcount, 4u);
+
+  // Trend gate: a local-skew regression fails even when the global max held.
+  HistoryEntry regressed = entry;
+  regressed.worlds[0].lmax = 1.2;
+  const auto failures = check_trend(entry, regressed, 5.0);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("local_skew_ratio"), std::string::npos)
+      << failures[0];
+  // A baseline without dynamic cells says nothing about local skew.
+  HistoryEntry no_local_baseline = entry;
+  no_local_baseline.worlds[0].lcount = 0;
+  EXPECT_TRUE(check_trend(no_local_baseline, regressed, 5.0).empty());
+}
+
+}  // namespace
+}  // namespace crusader::runner
