@@ -97,6 +97,7 @@ struct E14Summary {
 
 /// One E15 measurement: the probe cell at one churn rate.
 struct E15Row {
+  const char* protocol = "";
   double churn_rate = 0.0;
   double events_per_sec = 0.0;
   double max_skew = 0.0;
@@ -131,7 +132,8 @@ void write_json(const std::string& path, const E14Summary& s,
       << "  \"e15\": [\n";
   for (std::size_t i = 0; i < churn.size(); ++i) {
     const auto& row = churn[i];
-    out << "    {\"churn_rate\": " << row.churn_rate
+    out << "    {\"protocol\": \"" << row.protocol << "\""
+        << ", \"churn_rate\": " << row.churn_rate
         << ", \"events_per_sec\": " << row.events_per_sec
         << ", \"max_skew\": " << row.max_skew
         << ", \"local_skew\": " << row.local_skew << "}"
@@ -399,19 +401,28 @@ int run_bench(const std::optional<std::string>& json_path,
     churn_grid.rounds = 8;
     churn_grid.warmup = 2;
     churn_grid.churn_rates = {0.0, 0.02, 0.1};
-    const auto churn_specs = churn_grid.expand();
+    auto churn_specs = churn_grid.expand();
+
+    // One gradient-protocol row at the heaviest churn rate: neighbor-cast
+    // (no re-flooding) against the probe's full flood on the same churned
+    // cell — the throughput headroom the bounded-rate protocol buys.
+    churn_grid.protocols = {baselines::ProtocolKind::kGradient};
+    churn_grid.churn_rates = {0.1};
+    for (auto& spec : churn_grid.expand()) churn_specs.push_back(spec);
 
     util::Table churn_table(
-        "E15: churned flood (hypercube 2^10, probe, abstract crypto, 8 "
-        "rounds; churn = fraction of edges rewired per round)");
-    churn_table.set_header({"churn", "live", "events", "seconds",
+        "E15: churned flood (hypercube 2^10, abstract crypto, 8 rounds; "
+        "churn = fraction of edges rewired per round)");
+    churn_table.set_header({"protocol", "churn", "live", "events", "seconds",
                             "events/sec", "max skew", "local skew"});
     for (const auto& spec : churn_specs) {
       const auto run = timed_scenario(spec, {});
-      churn_rows.push_back({spec.churn_rate, run.events_per_sec(),
+      churn_rows.push_back({baselines::to_string(spec.protocol),
+                            spec.churn_rate, run.events_per_sec(),
                             run.result.max_skew, run.result.local_skew});
       churn_table.add_row(
-          {util::Table::num(spec.churn_rate, 2),
+          {baselines::to_string(spec.protocol),
+           util::Table::num(spec.churn_rate, 2),
            run.result.live ? "yes" : "NO",
            std::to_string(run.result.events),
            util::Table::num(run.seconds, 3),

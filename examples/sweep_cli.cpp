@@ -13,8 +13,12 @@
 //   --world=complete,relay,theorem5  simulation worlds (complete graph /
 //                                    Appendix-A sparse relay / Theorem-5
 //                                    lower-bound construction)
-//   --protocols=cps,lw,st,probe  protocol kinds (probe = the flood-probe
-//                              transport conformance check; theorem5 skips it)
+//   --protocols=cps,lw,st,probe,gradient,jump-max  protocol kinds (probe =
+//                              the flood-probe transport conformance check;
+//                              gradient/jump-max = the one-hop KLLO-style
+//                              pair — bounded-rate vs jump-to-max clock
+//                              adjustment over current neighbors only;
+//                              theorem5 skips all three)
 //   --n=4,7,9                  cluster sizes (relay: topology size;
 //                              theorem5 pins n=3)
 //   --faults=0,max             faulty-node counts ("max" = the protocol's
@@ -49,6 +53,11 @@
 //                              node n-1 anchors the beacon and never leaves)
 //   --reconnect=random,repair  reconnect policies for churned edges
 //                              (random|preferential|ring-repair)
+//   --kllo-stab=1,4            KLLO stabilization-time multipliers: the
+//                              per-edge-age envelope declares an edge
+//                              settled after ceil(mult·(1+log2 n)) rounds
+//                              (relay-only; multiplies churned cells only —
+//                              static cells pin the multiplier to 1)
 // Scalars:
 //   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
 //   --gate=RATIO   fail (exit 1) when any scenario errored/timed out or any
@@ -59,6 +68,12 @@
 //                  skew ratio local_skew/bound exceeds RATIO; the natural
 //                  gate for dynamic (churned) cells, where the global gate
 //                  is dominated by partition-transient rounds
+//   --gate-kllo=RATIO  fail (exit 1) when any relay scenario's kllo_ratio —
+//                  worst per-edge skew over the per-edge-AGE envelope
+//                  (runner/kllo.hpp) — exceeds RATIO. 1.0 gates on the
+//                  envelope itself: fresh edges get the settling allowance,
+//                  settled edges must sit inside the O(log n) band, which is
+//                  exactly where jump-to-max fails and gradient passes
 //   --budget-ms=N  per-scenario wall-clock budget: a cell that exhausts it
 //                  is aborted and exported with timed_out=1 instead of
 //                  hanging the sweep
@@ -207,6 +222,7 @@ int main(int argc, char** argv) {
   bool n_given = false;
   std::optional<double> gate;
   std::optional<double> gate_local;
+  std::optional<double> gate_kllo;
   std::optional<double> gate_trend;
 
   for (int i = 1; i < argc; ++i) {
@@ -360,6 +376,16 @@ int main(int argc, char** argv) {
         }
         if (grid.join_batches.empty())
           return fail("--join-batch needs at least one value");
+      } else if (key == "kllo-stab" || key == "kllo_stab") {
+        grid.kllo_stabs.clear();
+        for (const auto& s : split(value)) {
+          const double stab = need_double(key, s);
+          if (stab <= 0.0)
+            return fail("--kllo-stab takes multipliers > 0, got '" + s + "'");
+          grid.kllo_stabs.push_back(stab);
+        }
+        if (grid.kllo_stabs.empty())
+          return fail("--kllo-stab needs at least one value");
       } else if (key == "reconnect") {
         grid.reconnects.clear();
         for (const auto& s : split(value)) {
@@ -388,6 +414,8 @@ int main(int argc, char** argv) {
         gate = need_double(key, value);
       } else if (key == "gate-local" || key == "gate_local") {
         gate_local = need_double(key, value);
+      } else if (key == "gate-kllo" || key == "gate_kllo") {
+        gate_kllo = need_double(key, value);
       } else if (key == "gate-trend" || key == "gate_trend") {
         const double pct = need_double(key, value);
         if (pct < 0.0)
@@ -461,6 +489,7 @@ int main(int argc, char** argv) {
   runner::SweepSummary summary;
   summary.gate_ratio = gate;
   summary.local_gate_ratio = gate_local;
+  summary.kllo_gate_ratio = gate_kllo;
   bool cps_bound_violated = false;
   auto note = [&](const runner::ScenarioResult& r) {
     summary.add(r);
@@ -547,6 +576,11 @@ int main(int argc, char** argv) {
   if (gate_local && summary.local_gate_violations > 0) {
     std::cerr << "sweep_cli: --gate-local=" << *gate_local << " tripped by "
               << summary.local_gate_violations << " scenario(s)\n";
+    status = 1;
+  }
+  if (gate_kllo && summary.kllo_gate_violations > 0) {
+    std::cerr << "sweep_cli: --gate-kllo=" << *gate_kllo << " tripped by "
+              << summary.kllo_gate_violations << " scenario(s)\n";
     status = 1;
   }
 

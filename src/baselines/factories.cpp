@@ -7,6 +7,7 @@
 #include "baselines/lynch_welch.hpp"
 #include "baselines/srikanth_toueg.hpp"
 #include "core/cps.hpp"
+#include "sync/gradient.hpp"
 #include "util/check.hpp"
 
 namespace crusader::baselines {
@@ -17,8 +18,14 @@ const char* to_string(ProtocolKind kind) {
     case ProtocolKind::kLynchWelch: return "Lynch-Welch";
     case ProtocolKind::kSrikanthToueg: return "Srikanth-Toueg";
     case ProtocolKind::kFloodProbe: return "probe";
+    case ProtocolKind::kGradient: return "gradient";
+    case ProtocolKind::kJumpMax: return "jump-max";
   }
   return "?";
+}
+
+bool neighbor_cast(ProtocolKind kind) noexcept {
+  return kind == ProtocolKind::kGradient || kind == ProtocolKind::kJumpMax;
 }
 
 ProtocolSetup make_setup(ProtocolKind kind, const sim::ModelParams& model,
@@ -59,6 +66,20 @@ ProtocolSetup make_setup(ProtocolKind kind, const sim::ModelParams& model,
       setup.initial_offset = 0.0;
       setup.round_length = 2.0 * model.d;
       break;
+    case ProtocolKind::kGradient:
+    case ProtocolKind::kJumpMax:
+      // Always feasible: both variants only ever pull clocks forward toward
+      // neighbors, never assume initial synchrony, and pulse every T = 2·d.
+      // The honest prediction is the global envelope n·σ with σ the
+      // per-round uncertainty scale — the fresh-edge allowance of the KLLO
+      // gate; the per-edge verdict is the envelope gate's business.
+      setup.feasible = true;
+      setup.round_length = 2.0 * model.d;
+      setup.predicted_skew =
+          static_cast<double>(model.n) *
+          (model.u + (model.vartheta - 1.0) * setup.round_length);
+      setup.initial_offset = 0.0;
+      break;
   }
   return setup;
 }
@@ -94,6 +115,15 @@ sim::HonestFactory make_protocol_factory(const ProtocolSetup& setup,
       config.max_rounds = max_rounds;
       return [config](NodeId) {
         return std::make_unique<FloodProbeNode>(config);
+      };
+    }
+    case ProtocolKind::kGradient:
+    case ProtocolKind::kJumpMax: {
+      sync::GradientConfig config;
+      config.max_rounds = max_rounds;
+      config.bounded = setup.kind == ProtocolKind::kGradient;
+      return [config](NodeId) {
+        return std::make_unique<sync::GradientNode>(config);
       };
     }
   }

@@ -14,9 +14,29 @@ namespace crusader::baselines {
 /// one signed beacon broadcast per round, receivers pulse on delivery. Its
 /// predicted skew max(u, d·(1 − 1/ϑ)) holds for any admissible delivery, so
 /// probe cells conformance-check the world/overlay rather than an algorithm.
-enum class ProtocolKind { kCps, kLynchWelch, kSrikanthToueg, kFloodProbe };
+///
+/// kGradient / kJumpMax are the KLLO envelope gate's subjects
+/// (sync/gradient.hpp): peer-to-peer, beacon-free protocols that exchange
+/// signed round messages with their current neighbors. kGradient closes
+/// clock gaps at a bounded per-round rate with midpoint delay compensation
+/// (conforming); kJumpMax is the naive uncompensated jump-to-max whose
+/// steady per-edge lag ~d sits above the stabilized envelope (violating).
+enum class ProtocolKind {
+  kCps,
+  kLynchWelch,
+  kSrikanthToueg,
+  kFloodProbe,
+  kGradient,
+  kJumpMax,
+};
 
 [[nodiscard]] const char* to_string(ProtocolKind kind);
+
+/// True for protocols that are neighbor-scoped: in relay worlds their
+/// broadcasts must reach exactly the sender's current neighbors (one hop, no
+/// flood) instead of the path-balanced flood overlay, because per-edge
+/// locality is the property under test.
+[[nodiscard]] bool neighbor_cast(ProtocolKind kind) noexcept;
 
 /// Derived parameter bundle for whichever protocol is selected.
 struct ProtocolSetup {

@@ -246,6 +246,7 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
                  "dynamic schedule needs positive epoch timing");
     factory_ = factory;
     recent_.resize(n);
+    age_check_ = std::make_unique<EdgeAgeTracker>(config_.topology);
   }
   adversary_ = std::make_unique<RelayAdversary>(
       config_.fault_kind, config_.topology, faulty_,
@@ -349,6 +350,14 @@ void RelayWorld::apply_delta(std::size_t epoch) {
     hosts_[v] = nullptr;
     recent_[v].clear();
   }
+  // Cross-check: the metric-side replay (EdgeAgeTracker, as walked by
+  // runner/kllo.cpp) must land on exactly the graph the world now runs on.
+  age_check_->apply(delta);
+  CS_CHECK(age_check_->epoch() == epoch + 1);
+  CS_CHECK(age_check_->topology().edge_count() ==
+           config_.topology.edge_count());
+  for (const auto& [a, b] : delta.added)
+    CS_CHECK(age_check_->age(a, b) == 0);
   // Prune the retention window once per epoch — the only place entries age
   // out, so the per-node vectors stay bounded by the window's flood count.
   const double cutoff = engine_.now() - retention_;
@@ -393,6 +402,15 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
   NodeHost& host = *hosts_[at];
   const sim::Message& m = *ref;
 
+  // Neighbor-cast: a received copy is processed on arrival — no hold (the
+  // one-hop delay IS the per-edge link under test) — and never forwarded;
+  // the hops == 0 origin falls through to the forwarding machinery below,
+  // which reaches exactly the current neighbors.
+  if (config_.neighbor_cast && hops > 0) {
+    if (at != m.sender) host.process(m);
+    return;
+  }
+
   // Destination-side processing with path balancing. The origin never
   // processes copies of its own broadcast that cycle back to it.
   if (hops > 0 && at != m.sender) {
@@ -426,9 +444,11 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
   // holds the full d_hop, reorder pins window extremes) — all still within
   // the model's legal [d_hop − u_hop, d_hop].
   if (!host.first_sight(flood_id)) return;
-  if (dynamic_) {
+  if (dynamic_ && !config_.neighbor_cast) {
     // Record at forward time: whatever this node pushes to its current
-    // neighbors is what a future edge to it must replay.
+    // neighbors is what a future edge to it must replay. Neighbor-cast
+    // messages are strictly one-hop round beacons — a new edge simply
+    // carries the next round, so nothing is retained or replayed.
     recent_[at].push_back(RetainedFlood{flood_id, hops, ref, engine_.now()});
   }
   const bool adversarial = faulty_[at];

@@ -74,6 +74,14 @@ struct RelayConfig {
   /// payload. Off forces the per-neighbor reference path; results are
   /// identical either way.
   bool batch = true;
+  /// Neighbor-cast transport (the KLLO gradient protocols): a broadcast
+  /// reaches exactly the sender's *current* neighbors, one hop, processed on
+  /// arrival — no flood, no path-balancing hold, no retention replay. The
+  /// effective model is the hop model itself (worst_hops = 1); callers must
+  /// pass RelayEffective{hop_model, 1, true} rather than compute_effective
+  /// (a one-hop "overlay" does not satisfy d_eff > 2·u_eff validation, nor
+  /// does it need to — per-edge locality is the property under test).
+  bool neighbor_cast = false;
   /// Dynamic-network schedule. Null (or a static schedule) is the historical
   /// fixed-graph world, byte-identical to the pre-schedule code. When
   /// dynamic, `topology` must equal schedule->initial(); the world mutates
@@ -239,6 +247,10 @@ class RelayWorld {
 
   // --- Dynamic-schedule state (inert for static schedules) ----------------
   bool dynamic_ = false;
+  /// Dynamic only: an EdgeAgeTracker replayed alongside the live topology as
+  /// a cross-check that the world's delta application and the metric walks'
+  /// (runner/kllo.cpp) agree on the graph at every epoch.
+  std::unique_ptr<EdgeAgeTracker> age_check_;
   sim::HonestFactory factory_;  ///< re-registers hosts for joins
   /// Hosts torn down by leaves. Engine closures capture NodeHost* — the
   /// object must outlive every queued event, so teardown moves it here

@@ -306,6 +306,35 @@ std::vector<bool> TopologySchedule::ever_churned() const {
   return churned;
 }
 
+EdgeAgeTracker::EdgeAgeTracker(const Topology& initial)
+    : topo_(initial), down_(initial.n(), false) {
+  for (NodeId v = 0; v < topo_.n(); ++v) {
+    for (const NodeId w : topo_.neighbors(v)) {
+      if (w > v) birth_.emplace(key(v, w), 0);
+    }
+  }
+}
+
+void EdgeAgeTracker::apply(const EpochDelta& delta) {
+  for (const NodeId v : delta.joins) down_[v] = false;
+  for (const auto& [a, b] : delta.removed) {
+    topo_.remove_edge(a, b);
+    birth_.erase(key(a, b));
+  }
+  ++epoch_;  // edges added by delta e are first live at epoch e + 1
+  for (const auto& [a, b] : delta.added) {
+    topo_.add_edge(a, b);
+    birth_[key(a, b)] = epoch_;
+  }
+  for (const NodeId v : delta.leaves) down_[v] = true;
+}
+
+std::uint64_t EdgeAgeTracker::age(NodeId a, NodeId b) const {
+  const auto it = birth_.find(key(a, b));
+  CS_CHECK(it != birth_.end());
+  return static_cast<std::uint64_t>(epoch_) - it->second;
+}
+
 std::uint64_t TopologySchedule::digest() const noexcept {
   std::uint64_t h = fold(0x5c4ed01eULL, initial_.n());
   h = fold(h, initial_.edge_count());

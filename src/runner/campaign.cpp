@@ -76,7 +76,7 @@ Manifest parse_manifest(const std::string& path, std::string content,
 /// Column indices the replay needs, resolved from the header once.
 struct ReplayColumns {
   std::size_t seed, feasible, live, rounds_completed, within_bound, skew_ratio,
-      local_skew, local_skew_ratio, timed_out, error;
+      local_skew, local_skew_ratio, kllo_ratio, edge_age_min, timed_out, error;
 };
 
 ReplayColumns resolve_columns(const std::vector<std::string>& header) {
@@ -93,6 +93,8 @@ ReplayColumns resolve_columns(const std::vector<std::string>& header) {
                        find("skew_ratio"),
                        find("local_skew"),
                        find("local_skew_ratio"),
+                       find("kllo_ratio"),
+                       find("edge_age_min"),
                        find("timed_out"),
                        find("error")};
 }
@@ -200,6 +202,14 @@ CsvCampaign::CsvCampaign(Options options,
       const auto lratio = parse_double_strict(row[columns.local_skew_ratio]);
       result.local_skew_ratio =
           lratio ? *lratio : std::numeric_limits<double>::quiet_NaN();
+      // Replayed so resumed campaigns feed --gate-kllo and the history
+      // k-tokens identically to a fresh run.
+      const auto kratio = parse_double_strict(row[columns.kllo_ratio]);
+      result.kllo_ratio =
+          kratio ? *kratio : std::numeric_limits<double>::quiet_NaN();
+      const auto age = parse_double_strict(row[columns.edge_age_min]);
+      result.edge_age_min =
+          age ? *age : std::numeric_limits<double>::quiet_NaN();
       result.error = row[columns.error];
       if (replay) replay(result);
     }

@@ -146,6 +146,17 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("d_eff_exact", s.world == WorldKind::kRelay
                          ? Field{"", r.d_eff_exact ? "1" : "0"}
                          : Field{"", "", false, true});
+  // KLLO per-edge-age envelope block (runner/kllo.hpp). The metrics are
+  // relay-only and NaN elsewhere, so metric() yields the empty/null cell;
+  // the stab multiplier is a spec axis like churn_rate (relay-only column).
+  add("edge_age_min", metric(r.edge_age_min));
+  add("kllo_stab", s.world == WorldKind::kRelay
+                       ? Field{"", fmt(s.kllo_stab)}
+                       : Field{"", "", false, true});
+  add("kllo_ratio", metric(r.kllo_ratio));
+  add("kllo_violations", s.world == WorldKind::kRelay
+                             ? Field{"", std::to_string(r.kllo_violations)}
+                             : Field{"", "", false, true});
   add("messages", {"", std::to_string(r.messages)});
   add("events", {"", std::to_string(r.events)});
   add("sign_ops", {"", std::to_string(r.sign_ops)});

@@ -51,6 +51,11 @@ HistoryEntry make_history_entry(const SweepSummary& summary,
       ratio.lmax = w.local.max();
       ratio.lmean = w.local.mean();
     }
+    ratio.kcount = w.kllo.count();
+    if (ratio.kcount > 0) {
+      ratio.kmax = w.kllo.max();
+      ratio.kmean = w.kllo.mean();
+    }
     entry.worlds.push_back(ratio);
   }
   return entry;
@@ -69,6 +74,11 @@ std::string format_history_line(const HistoryEntry& entry) {
     if (w.lcount > 0)
       os << ",lmax=" << fmt(w.lmax) << ",lmean=" << fmt(w.lmean)
          << ",lcount=" << w.lcount;
+    // KLLO envelope stats, same optionality: only dynamic relay cells feed
+    // kcount, so pre-KLLO grids format byte-identically.
+    if (w.kcount > 0)
+      os << ",kmax=" << fmt(w.kmax) << ",kmean=" << fmt(w.kmean)
+         << ",kcount=" << w.kcount;
   }
   return os.str();
 }
@@ -161,6 +171,18 @@ std::optional<HistoryEntry> parse_history_line(std::string_view line) {
           const auto lcount = parse_u64_strict(*v);
           if (!lcount) return std::nullopt;
           ratio.lcount = static_cast<std::size_t>(*lcount);
+        } else if (const auto v = parse_kv(part, "kmax")) {
+          const auto kmax = parse_double_strict(*v);
+          if (!kmax) return std::nullopt;
+          ratio.kmax = *kmax;
+        } else if (const auto v = parse_kv(part, "kmean")) {
+          const auto kmean = parse_double_strict(*v);
+          if (!kmean) return std::nullopt;
+          ratio.kmean = *kmean;
+        } else if (const auto v = parse_kv(part, "kcount")) {
+          const auto kcount = parse_u64_strict(*v);
+          if (!kcount) return std::nullopt;
+          ratio.kcount = static_cast<std::size_t>(*kcount);
         } else {
           return std::nullopt;
         }
@@ -246,6 +268,16 @@ std::vector<std::string> check_trend(
                              ": max local_skew_ratio " + fmt(w.lmax) +
                              " regressed > " + fmt(pct) + "% over baseline " +
                              fmt(b.lmax));
+        }
+      }
+      // KLLO envelope trend, same both-sides gating.
+      if (w.kcount > 0 && b.kcount > 0) {
+        const double klimit = b.kmax * (1.0 + pct / 100.0) + 1e-12;
+        if (w.kmax > klimit) {
+          failures.push_back(std::string(to_string(w.world)) +
+                             ": max kllo_ratio " + fmt(w.kmax) +
+                             " regressed > " + fmt(pct) + "% over baseline " +
+                             fmt(b.kmax));
         }
       }
       break;

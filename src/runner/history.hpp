@@ -49,6 +49,12 @@ struct HistoryEntry {
     double lmax = 0.0;
     double lmean = 0.0;
     std::size_t lcount = 0;
+    /// kllo_ratio stats over the world's dynamic cells — same optional-token
+    /// treatment as the l* triple (kcount == 0 omits kmax/kmean/kcount), so
+    /// pre-KLLO history files keep their exact bytes.
+    double kmax = 0.0;
+    double kmean = 0.0;
+    std::size_t kcount = 0;
   };
   std::vector<WorldRatio> worlds;
 };

@@ -13,8 +13,10 @@
 #include <thread>
 #include <utility>
 
+#include "baselines/factories.hpp"
 #include "core/adversaries.hpp"
 #include "lowerbound/theorem5.hpp"
+#include "runner/kllo.hpp"
 #include "sim/engine.hpp"
 #include "relay/flood_world.hpp"
 #include "relay/topology.hpp"
@@ -206,6 +208,12 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
             result.seed ^ 0x5c4ed7ULL));
   }
   const bool dynamic = schedule != nullptr && schedule->dynamic();
+  // Gradient/jump-max are one-hop protocols: messages reach current
+  // neighbors only (no flood), and the effective model IS the hop model —
+  // constructed directly because effective_from_hops() would reject a
+  // one-hop overlay (d_eff > 2·u_eff is a flood-specific requirement).
+  const bool ncast = baselines::neighbor_cast(spec.protocol);
+  config.neighbor_cast = ncast;
 
   // One topology analysis per scenario (memoized across the sweep when a
   // cache is supplied): the RelayEffective feeds the feasibility check, the
@@ -214,7 +222,8 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   // seed-specific schedule, which the static key must never alias (the
   // cache CS_CHECKs this) — and recompute D_f per epoch instead.
   const auto effective =
-      dynamic ? relay::effective_from_hops(
+      ncast   ? relay::RelayEffective{hop_model, 1, true}
+      : dynamic ? relay::effective_from_hops(
                     hop_model,
                     relay::analyze_schedule_worst_hops(*schedule, spec.f))
       : cache ? cache->get(relay_analysis_key(spec, result.seed), config)
@@ -260,12 +269,27 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
     fill_skew_metrics(run.trace, spec, result);
     result.within_bound =
         result.max_skew <= result.predicted_skew + options.bound_tolerance;
-    const std::vector<double> series = local_skew_series(
-        run.trace, dynamic ? *schedule
-                           : relay::TopologySchedule::static_schedule(
-                                 config.topology));
+    const relay::TopologySchedule measure_schedule =
+        dynamic ? *schedule
+                : relay::TopologySchedule::static_schedule(config.topology);
+    const std::vector<double> series =
+        local_skew_series(run.trace, measure_schedule);
     if (!series.empty())
       result.local_skew = *std::max_element(series.begin(), series.end());
+    // Per-edge-age envelope conformance. sigma is the per-round uncertainty
+    // an adjacent pair accumulates under the effective model; the global
+    // allowance n·sigma is what a node that just (re)connected may lag by
+    // before the protocol has had any rounds to pull it in.
+    KlloEnvelopeParams params;
+    params.sigma = effective.model.u +
+                   (effective.model.vartheta - 1.0) * setup.round_length;
+    params.global = static_cast<double>(spec.n) * params.sigma;
+    params.stab_mult = spec.kllo_stab;
+    const KlloConformance kllo =
+        kllo_conformance(run.trace, measure_schedule, params);
+    result.kllo_ratio = kllo.ratio;
+    result.kllo_violations = kllo.violations;
+    result.edge_age_min = kllo.edge_age_min;
   }
 }
 
@@ -313,6 +337,8 @@ ScenarioResult run_scenario_cached(const ScenarioSpec& spec,
   result.local_skew_ratio = kNan;
   result.d_eff = kNan;
   result.u_eff = kNan;
+  result.kllo_ratio = kNan;
+  result.edge_age_min = kNan;
 
   try {
     // A targeted custom delay aimed past the cluster would silently
@@ -518,6 +544,9 @@ void SweepSummary::add(const ScenarioResult& result) {
   if (local_gate_ratio && std::isfinite(result.local_skew_ratio) &&
       result.local_skew_ratio > *local_gate_ratio + 1e-9)
     ++local_gate_violations;
+  if (kllo_gate_ratio && std::isfinite(result.kllo_ratio) &&
+      result.kllo_ratio > *kllo_gate_ratio + 1e-9)
+    ++kllo_gate_violations;
   if (result.timed_out) ++timed_out;
   if (!result.error.empty()) {
     ++errors;
@@ -540,6 +569,8 @@ void SweepSummary::add(const ScenarioResult& result) {
   // new tokens to every existing history line (see WorldStats::local).
   if (result.spec.dynamic() && std::isfinite(result.local_skew_ratio))
     world.local.add(result.local_skew_ratio);
+  if (result.spec.dynamic() && std::isfinite(result.kllo_ratio))
+    world.kllo.add(result.kllo_ratio);
   if (result.rounds_completed > 0 && !result.within_bound)
     ++world.bound_misses;
 }

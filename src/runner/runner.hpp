@@ -81,6 +81,19 @@ struct ScenarioResult {
   double local_skew = 0.0;
   /// local_skew / predicted_skew (same denominator as skew_ratio).
   double local_skew_ratio = 0.0;
+  /// KLLO per-edge-age envelope conformance (runner/kllo.hpp), kRelay only
+  /// (NaN elsewhere): the worst, over complete rounds and live measured
+  /// edges, of |p_v − p_w| divided by the envelope at that edge's current
+  /// age. ≤ 1 means every edge sat inside the envelope — including fresh
+  /// edges graded against the wide settling allowance — which is the
+  /// transient-vs-violation distinction a flat local ratio cannot make.
+  double kllo_ratio = 0.0;
+  /// Round-edge pairs whose envelope ratio exceeded 1 (kRelay, else 0).
+  std::size_t kllo_violations = 0;
+  /// Minimum age (rounds since appearance) over the live measured edges of
+  /// the last complete round — the youngest edge the verdict rests on. For a
+  /// static relay cell this is simply rounds − 1; NaN outside kRelay.
+  double edge_age_min = 0.0;
   /// Effective complete-graph model the relay overlay presented to the
   /// protocol (NaN for other worlds).
   double d_eff = 0.0;
@@ -192,6 +205,11 @@ struct SweepSummary {
   /// binds wherever the local metric is defined, including dynamic cells
   /// where the global ratio gate is suspended.
   std::optional<double> local_gate_ratio;
+  /// When set, add() counts rows whose kllo_ratio exceeds it — the
+  /// per-edge-age envelope gate (1.0 = the KLLO envelope itself). Binds
+  /// wherever the kllo metric is defined (relay rows with completed
+  /// rounds); rows without it never count.
+  std::optional<double> kllo_gate_ratio;
 
   std::size_t scenarios = 0;
   std::size_t errors = 0;
@@ -199,6 +217,7 @@ struct SweepSummary {
   std::size_t infeasible = 0;
   std::size_t gate_violations = 0;
   std::size_t local_gate_violations = 0;
+  std::size_t kllo_gate_violations = 0;
 
   struct WorldStats {
     WorldKind world = WorldKind::kComplete;
@@ -208,6 +227,9 @@ struct SweepSummary {
     /// deliberately excluded: their local metric would append new tokens to
     /// every existing history line, breaking byte-compatibility.
     util::OnlineStats local;
+    /// Over dynamic rows with a finite kllo_ratio — same static-row
+    /// exclusion (and the same optional-token history treatment) as `local`.
+    util::OnlineStats kllo;
     /// Completed rows whose within_bound check failed.
     std::size_t bound_misses = 0;
   };

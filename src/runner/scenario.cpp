@@ -85,6 +85,9 @@ std::optional<baselines::ProtocolKind> parse_protocol(std::string_view s) {
     return baselines::ProtocolKind::kSrikanthToueg;
   if (s == "probe" || s == "flood-probe")
     return baselines::ProtocolKind::kFloodProbe;
+  if (s == "gradient") return baselines::ProtocolKind::kGradient;
+  if (s == "jump-max" || s == "jumpmax")
+    return baselines::ProtocolKind::kJumpMax;
   return std::nullopt;
 }
 
@@ -258,6 +261,7 @@ std::string ScenarioSpec::name() const {
     os << " churn=" << churn_rate;
     if (join_batch > 0) os << " join=" << join_batch;
     os << " reconnect=" << relay::to_string(reconnect);
+    if (kllo_stab != 1.0) os << " kstab=" << kllo_stab;
   }
   return os.str();
 }
@@ -306,6 +310,14 @@ std::uint64_t ScenarioSpec::key() const noexcept {
     h = fold(h, churn_rate);
     h = fold(h, static_cast<std::uint64_t>(join_batch));
     h = fold(h, static_cast<std::uint64_t>(reconnect));
+    // The KLLO stabilization multiplier is appended after the churn block
+    // and only when it departs from the paper-faithful default, so every
+    // pre-KLLO dynamic digest (and its seed, resume journal, and history
+    // baseline) survives unchanged.
+    if (kllo_stab != 1.0) {
+      h = fold(h, std::uint64_t{0x1c1105});
+      h = fold(h, kllo_stab);
+    }
   }
   return h;
 }
@@ -389,6 +401,8 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
       }
     }
   }
+  const std::vector<double> stab_axis =
+      kllo_stabs.empty() ? std::vector<double>{1.0} : kllo_stabs;
 
   for (const auto world : worlds) {
     const bool relay = world == WorldKind::kRelay;
@@ -416,11 +430,17 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     // (run_theorem5 would report it infeasible); skip the cells entirely
     // instead of emitting guaranteed-dead rows.
     std::vector<baselines::ProtocolKind> world_protocols = protocols;
-    if (thm5)
+    if (thm5) {
+      // Same for the neighbor-scoped gradient/jump-max pair: the Theorem-5
+      // construction has no topology for them to be local on.
       world_protocols.erase(
-          std::remove(world_protocols.begin(), world_protocols.end(),
-                      baselines::ProtocolKind::kFloodProbe),
+          std::remove_if(world_protocols.begin(), world_protocols.end(),
+                         [](baselines::ProtocolKind p) {
+                           return p == baselines::ProtocolKind::kFloodProbe ||
+                                  baselines::neighbor_cast(p);
+                         }),
           world_protocols.end());
+    }
 
     for (const auto protocol : world_protocols) {
       for (const auto n : world_ns) {
@@ -484,12 +504,22 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                         // Only fault-free relay points take the dynamic
                         // axes: churn and Byzantine relays are separate
                         // regimes, and the other worlds have no schedule.
+                        // The KLLO stabilization axis multiplies only the
+                        // dynamic churn points — on a static graph the
+                        // envelope's age decay is degenerate, so inert
+                        // points normalize to 1.0 and collapse via dedup.
                         for (const auto& churn : churn_axis) {
                           spec.churn_rate = churn.rate;
                           spec.join_batch = churn.batch;
                           spec.reconnect = churn.reconnect;
-                          push(spec);
+                          const bool churning =
+                              churn.rate > 0.0 || churn.batch > 0;
+                          for (const double stab : stab_axis) {
+                            spec.kllo_stab = churning ? stab : 1.0;
+                            push(spec);
+                          }
                         }
+                        spec.kllo_stab = 1.0;
                         continue;
                       }
                       if (faults == 0 || relay || thm5) {

@@ -180,6 +180,12 @@ struct ScenarioSpec {
   double churn_rate = 0.0;
   std::uint32_t join_batch = 0;
   relay::ReconnectPolicy reconnect = relay::ReconnectPolicy::kRandom;
+  /// KLLO stabilization-time multiplier (runner/kllo.hpp): scales the
+  /// settling window the per-edge-age envelope grants a freshly (re)appeared
+  /// edge. Meaningful on dynamic cells only; like the churn axes it folds
+  /// into key() only when active AND non-default, so every existing digest
+  /// is byte-preserved.
+  double kllo_stab = 1.0;
 
   /// Whether this cell runs on a time-varying topology.
   [[nodiscard]] bool dynamic() const noexcept {
@@ -249,6 +255,10 @@ struct SweepGrid {
   std::vector<std::uint32_t> join_batches{0};
   std::vector<relay::ReconnectPolicy> reconnects{
       relay::ReconnectPolicy::kRandom};
+  /// KLLO stabilization-multiplier axis. Multiplies only the *dynamic* churn
+  /// points (the envelope's edge-age decay is degenerate on a static graph);
+  /// inert combinations normalize to 1.0 and collapse via digest dedup.
+  std::vector<double> kllo_stabs{1.0};
   double d = 1.0;
   std::size_t rounds = 20;
   std::size_t warmup = 5;

@@ -1,0 +1,86 @@
+#include "sync/gradient.hpp"
+
+#include <algorithm>
+
+#include "crypto/signature.hpp"
+
+namespace crusader::sync {
+namespace {
+
+/// Per-round adjustment budget of the bounded (gradient) variant: the
+/// per-round uncertainty scale σ = u + (ϑ − 1)·T. A node may close gaps
+/// toward faster neighbors at most this fast, so its logical rate stays
+/// within a constant factor of the hardware rate — the KLLO bounded-rate
+/// discipline.
+[[nodiscard]] double round_budget(const sim::Env& env) noexcept {
+  const auto& model = env.model();
+  return model.u + (model.vartheta - 1.0) * 2.0 * model.d;
+}
+
+}  // namespace
+
+double GradientNode::logical(const sim::Env& env) const noexcept {
+  return env.local_now() - base_local_ + offset_;
+}
+
+void GradientNode::schedule_round(sim::Env& env) {
+  const double period = 2.0 * env.model().d;
+  // L reads next_·T when the hardware clock reads this (clamped to now if
+  // the offset already carried L past the boundary).
+  pending_ = env.schedule_at_local(
+      base_local_ + static_cast<double>(next_) * period - offset_,
+      encode_tag(next_));
+}
+
+void GradientNode::on_start(sim::Env& env) {
+  base_local_ = env.local_now();
+  budget_ = round_budget(env);
+  schedule_round(env);
+}
+
+void GradientNode::on_timer(sim::Env& env, std::uint64_t tag) {
+  const Round round = tag >> 3;
+  if (round != next_ || done(round)) return;  // stale (rescheduled) timer
+  env.pulse();
+  sim::Message m;
+  m.kind = sim::MsgKind::kRaw;
+  m.round = round;
+  m.sig = env.sign(crypto::make_pulse_payload(round));
+  env.broadcast(m);
+  budget_ = round_budget(env);  // the clamp budget replenishes per round
+  ++next_;
+  if (!done(next_)) schedule_round(env);
+}
+
+void GradientNode::on_message(sim::Env& env, const sim::Message& m) {
+  if (m.round == 0 || done(m.round)) return;
+  if (m.sig.signer == env.id()) return;
+  if (!env.verify(m.sig, crypto::make_pulse_payload(m.round))) return;
+  const auto& model = env.model();
+  const double period = 2.0 * model.d;
+  // The sender's logical clock read round·T at the send, one hop ago.
+  double est = static_cast<double>(m.round) * period;
+  if (config_.bounded) {
+    // Midpoint delay compensation: the copy is d − u/2 old on average, so
+    // the estimate error is at most ±u/2 (plus drift over one hop).
+    est += model.d - 0.5 * model.u;
+  }
+  const double gap = est - logical(env);
+  if (gap <= 0.0) return;  // never move backward: max-style monotone offsets
+  double adjust = gap;
+  if (config_.bounded) {
+    adjust = std::min(gap, budget_);
+    if (adjust <= 0.0) return;  // this round's budget is spent
+    budget_ -= adjust;
+  }
+  offset_ += adjust;
+  // The pending round timer was laid out under the old offset and is now
+  // late by `adjust`; re-anchor it (schedule_at_local clamps past times to
+  // now, so a large jump fires the round immediately — never skips it).
+  if (!done(next_)) {
+    env.cancel_timer(pending_);
+    schedule_round(env);
+  }
+}
+
+}  // namespace crusader::sync

@@ -1,0 +1,70 @@
+#pragma once
+// Gradient clock synchronization (KLLO-style) and its deliberately naive
+// foil, jump-to-max — the conforming and violating subjects of the
+// per-edge-age KLLO envelope gate.
+//
+// Both variants are peer-to-peer and beacon-free: every node keeps a logical
+// clock L = H_v(t) + offset, pulses when L crosses r·T (T = 2·d), and at
+// that same instant broadcasts a signed round-r message to its current
+// neighbors. A receiver therefore knows the sender's logical clock read
+// exactly r·T at the send, and the copy arrived one hop later — delay in
+// [d − u, d].
+//
+//   * bounded = true (the gradient protocol): the receiver estimates the
+//     sender's logical clock NOW as r·T + (d − u/2) — midpoint delay
+//     compensation — and closes any positive gap at a bounded rate: per
+//     round it may advance its offset by at most µ = u + (ϑ − 1)·T, the
+//     per-round uncertainty scale. Steady per-edge skew settles near µ,
+//     far inside the KLLO O(log n) envelope base.
+//   * bounded = false (jump-to-max): the textbook max algorithm with no
+//     delay compensation — est = r·T — and an unbounded jump to any faster
+//     neighbor. Every hop lags its fastest neighbor by the full delay d, so
+//     steady per-edge skew is ~d, which sits ABOVE the envelope base once
+//     the edge has stabilized. This is the seeded negative subject
+//     --gate-kllo must fail.
+//
+// Offsets only ever move forward (max-style), so the pending round timer can
+// only be early after an adjustment: it is cancelled and rescheduled, and
+// schedule_at_local clamps past times to "now", so pulses are never skipped.
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+
+namespace crusader::sync {
+
+struct GradientConfig {
+  Round max_rounds = 0;  ///< pulses per node; 0 = run to the horizon
+  bool bounded = true;   ///< true = gradient (clamped), false = jump-to-max
+};
+
+class GradientNode final : public sim::PulseNode {
+ public:
+  explicit GradientNode(const GradientConfig& config) : config_(config) {}
+
+  void on_start(sim::Env& env) override;
+  void on_message(sim::Env& env, const sim::Message& m) override;
+  void on_timer(sim::Env& env, std::uint64_t tag) override;
+
+ private:
+  enum TagKind : std::uint64_t { kTagRound = 1 };
+  [[nodiscard]] static std::uint64_t encode_tag(Round round) noexcept {
+    return kTagRound | (round << 3);
+  }
+
+  [[nodiscard]] bool done(Round round) const noexcept {
+    return config_.max_rounds > 0 && round > config_.max_rounds;
+  }
+  /// Logical clock L = H_v(t) − H_v(start) + offset.
+  [[nodiscard]] double logical(const sim::Env& env) const noexcept;
+  void schedule_round(sim::Env& env);
+
+  GradientConfig config_;
+  double base_local_ = 0.0;  ///< hardware clock at start
+  double offset_ = 0.0;      ///< logical-clock correction, monotone forward
+  double budget_ = 0.0;      ///< remaining clamp budget this round (gradient)
+  Round next_ = 1;           ///< next round to pulse/send
+  sim::TimerId pending_ = 0; ///< the scheduled round-`next_` timer
+};
+
+}  // namespace crusader::sync

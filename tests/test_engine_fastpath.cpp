@@ -80,6 +80,75 @@ TEST(FastPathDifferential, CsvByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, four);
 }
 
+/// The KLLO additions under the same differential lens: the one-hop
+/// gradient/jump-max protocols, churned schedules, and the per-edge-age
+/// conformance metrics (kllo_ratio / kllo_violations / edge_age_min CSV
+/// columns) must be byte-stable across the batch toggle and thread counts.
+SweepGrid kllo_differential_grid() {
+  SweepGrid grid;
+  grid.worlds = {WorldKind::kRelay};
+  grid.protocols = {baselines::ProtocolKind::kGradient,
+                    baselines::ProtocolKind::kJumpMax};
+  grid.ns = {8, 16};
+  grid.fault_loads = {0};
+  grid.delays = {sim::DelayKind::kRandom, sim::DelayKind::kSplit};
+  grid.topologies = {TopologyKind::kHypercube};
+  grid.churn_rates = {0.0, 0.1};
+  grid.join_batches = {0, 1};
+  grid.reconnects = {relay::ReconnectPolicy::kRandom,
+                     relay::ReconnectPolicy::kRingRepair};
+  grid.kllo_stabs = {1.0, 4.0};
+  grid.rounds = 6;
+  grid.warmup = 2;
+  return grid;
+}
+
+TEST(KlloDifferential, ChurnedCsvByteIdenticalAcrossBatchToggle) {
+  const auto grid = kllo_differential_grid();
+  EXPECT_EQ(sweep_csv(grid, /*fast_path=*/true, 1),
+            sweep_csv(grid, /*fast_path=*/false, 1));
+}
+
+TEST(KlloDifferential, ChurnedCsvByteIdenticalAcrossThreadCounts) {
+  const auto grid = kllo_differential_grid();
+  EXPECT_EQ(sweep_csv(grid, /*fast_path=*/true, 1),
+            sweep_csv(grid, /*fast_path=*/true, 4));
+}
+
+TEST(KlloDifferential, StabAxisCollapsesOnStaticGrids) {
+  // Like the reconnect axis: the stabilization multiplier means nothing
+  // without churn, so a churn-free grid with a --kllo-stab axis must expand
+  // to the very same cells (and the very same CSV bytes) as one without it.
+  auto plain = kllo_differential_grid();
+  plain.churn_rates = {0.0};
+  plain.join_batches = {0};
+  plain.kllo_stabs = {1.0};
+  auto stabbed = plain;
+  stabbed.kllo_stabs = {1.0, 2.0, 8.0};
+
+  const auto plain_specs = plain.expand();
+  const auto stabbed_specs = stabbed.expand();
+  ASSERT_EQ(stabbed_specs.size(), plain_specs.size());
+  for (std::size_t i = 0; i < plain_specs.size(); ++i)
+    EXPECT_EQ(stabbed_specs[i].key(), plain_specs[i].key()) << i;
+  EXPECT_EQ(sweep_csv(stabbed, true, 1), sweep_csv(plain, true, 1));
+
+  // With churn the axis is real: it multiplies exactly the dynamic cells.
+  auto churned = stabbed;
+  churned.churn_rates = {0.0, 0.1};
+  std::size_t dynamic_cells = 0;
+  std::size_t stretched_cells = 0;
+  for (const auto& spec : churned.expand()) {
+    if (spec.dynamic()) ++dynamic_cells;
+    if (spec.kllo_stab != 1.0) {
+      ++stretched_cells;
+      EXPECT_TRUE(spec.dynamic()) << spec.name();
+    }
+  }
+  EXPECT_EQ(dynamic_cells % 3, 0u);
+  EXPECT_EQ(stretched_cells * 3, dynamic_cells * 2);
+}
+
 void expect_traces_identical(const sim::PulseTrace& a,
                              const sim::PulseTrace& b) {
   ASSERT_EQ(a.n(), b.n());

@@ -1,0 +1,170 @@
+// KLLO per-edge-age envelope (runner/kllo.hpp): the pure formula the
+// conformance harness grades every live edge against. Anchored here:
+// age 0 gets the full global settling allowance, the allowance decays
+// linearly and is gone after the stabilization window, the settled band
+// scales as O(log n), and the stabilization multiplier stretches the
+// window without moving either endpoint.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "relay/schedule.hpp"
+#include "relay/topology.hpp"
+#include "runner/kllo.hpp"
+#include "sim/trace.hpp"
+
+namespace crusader::runner {
+namespace {
+
+KlloEnvelopeParams params_for(std::uint32_t n, double sigma = 0.07,
+                              double stab_mult = 1.0, double kappa = 1.0) {
+  KlloEnvelopeParams params;
+  params.sigma = sigma;
+  params.kappa = kappa;
+  params.global = static_cast<double>(n) * sigma;
+  params.stab_mult = stab_mult;
+  return params;
+}
+
+double base_of(std::uint32_t n, const KlloEnvelopeParams& params) {
+  return params.kappa * params.sigma * (1.0 + std::log2(n));
+}
+
+std::uint64_t stab_of(std::uint32_t n, const KlloEnvelopeParams& params) {
+  return static_cast<std::uint64_t>(
+      std::ceil(params.stab_mult * (1.0 + std::log2(n))));
+}
+
+TEST(KlloEnvelope, TableOfAgesAndSizes) {
+  struct Case {
+    std::uint32_t n;
+    double stab_mult;
+  };
+  const Case cases[] = {{4, 1.0},    {16, 1.0},  {16, 4.0},
+                        {256, 1.0},  {256, 2.5}, {1024, 1.0},
+                        {1u << 20, 1.0}};
+  for (const auto& c : cases) {
+    const auto params = params_for(c.n, 0.07, c.stab_mult);
+    const double base = base_of(c.n, params);
+    const double global = params.global;
+    const std::uint64_t stab = stab_of(c.n, params);
+
+    // Age 0: a brand-new edge gets the full global allowance (for every n
+    // in the table, global = n·sigma dominates the O(log n) base).
+    ASSERT_GT(global, base) << "n=" << c.n;
+    EXPECT_DOUBLE_EQ(kllo_envelope(0, c.n, params), global) << "n=" << c.n;
+
+    // Pre-stabilization: strictly between base and global, and monotone
+    // non-increasing in age.
+    double prev = global;
+    for (std::uint64_t age = 1; age < stab; ++age) {
+      const double env = kllo_envelope(age, c.n, params);
+      EXPECT_LT(env, global) << "n=" << c.n << " age=" << age;
+      EXPECT_GT(env, base) << "n=" << c.n << " age=" << age;
+      EXPECT_LE(env, prev) << "n=" << c.n << " age=" << age;
+      prev = env;
+    }
+
+    // At and past stabilization: exactly the settled O(log n) band.
+    EXPECT_DOUBLE_EQ(kllo_envelope(stab, c.n, params), base) << "n=" << c.n;
+    EXPECT_DOUBLE_EQ(kllo_envelope(stab + 1, c.n, params), base)
+        << "n=" << c.n;
+    EXPECT_DOUBLE_EQ(kllo_envelope(10 * stab + 7, c.n, params), base)
+        << "n=" << c.n;
+  }
+}
+
+TEST(KlloEnvelope, DecayIsLinearInAge) {
+  const auto params = params_for(256);
+  const double base = base_of(256, params);
+  const std::uint64_t stab = stab_of(256, params);  // ceil(1·9) = 9
+  ASSERT_EQ(stab, 9u);
+  for (std::uint64_t age = 0; age <= stab; ++age) {
+    const double expected =
+        base + (params.global - base) *
+                   (1.0 - static_cast<double>(age) / static_cast<double>(stab));
+    EXPECT_NEAR(kllo_envelope(age, 256, params), expected, 1e-12)
+        << "age=" << age;
+  }
+}
+
+TEST(KlloEnvelope, SettledBandGrowsLogarithmically) {
+  // The settled envelope is kappa·sigma·(1+log2 n): doubling n adds exactly
+  // one kappa·sigma step, so envelope(∞)/log-term is constant — the O(log n)
+  // asymptote, not O(n).
+  const double sigma = 0.05;
+  double prev = 0.0;
+  for (std::uint32_t e = 1; e <= 20; ++e) {
+    const std::uint32_t n = 1u << e;
+    const auto params = params_for(n, sigma);
+    const double settled = kllo_envelope(1u << 30, n, params);
+    EXPECT_NEAR(settled, sigma * (1.0 + e), 1e-9) << "n=" << n;
+    if (e > 1) {
+      EXPECT_NEAR(settled - prev, sigma, 1e-9) << "n=" << n;
+    }
+    prev = settled;
+  }
+  // Sanity against the linear alternative: at n = 2^20 the settled band is
+  // 21·sigma, vastly below the n·sigma global allowance.
+  EXPECT_LT(prev, (1u << 20) * sigma / 1000.0);
+}
+
+TEST(KlloEnvelope, StabMultiplierStretchesTheWindowOnly) {
+  const auto tight = params_for(64, 0.07, 1.0);
+  const auto loose = params_for(64, 0.07, 4.0);
+  const std::uint64_t tight_stab = stab_of(64, tight);  // 7
+  const std::uint64_t loose_stab = stab_of(64, loose);  // 28
+  ASSERT_LT(tight_stab, loose_stab);
+
+  // Endpoints agree: same allowance at age 0, same settled band.
+  EXPECT_DOUBLE_EQ(kllo_envelope(0, 64, tight), kllo_envelope(0, 64, loose));
+  EXPECT_DOUBLE_EQ(kllo_envelope(loose_stab, 64, tight),
+                   kllo_envelope(loose_stab, 64, loose));
+
+  // In between, the stretched window is strictly more generous: an age that
+  // is settled under mult=1 still carries allowance under mult=4.
+  EXPECT_DOUBLE_EQ(kllo_envelope(tight_stab, 64, tight), base_of(64, tight));
+  EXPECT_GT(kllo_envelope(tight_stab, 64, loose), base_of(64, loose));
+}
+
+TEST(KlloEnvelope, DegenerateShapes) {
+  // n = 1: the log term clamps to 1, envelope stays finite and positive.
+  auto params = params_for(1);
+  EXPECT_DOUBLE_EQ(kllo_envelope(0, 1, params), params.sigma);
+  EXPECT_DOUBLE_EQ(kllo_envelope(5, 1, params), params.sigma);
+
+  // A global allowance below the settled band never narrows the envelope:
+  // the envelope is base at every age (max(0, global − base) clamps).
+  params = params_for(1024);
+  params.global = 0.0;
+  const double base = base_of(1024, params);
+  EXPECT_DOUBLE_EQ(kllo_envelope(0, 1024, params), base);
+  EXPECT_DOUBLE_EQ(kllo_envelope(100, 1024, params), base);
+
+  // kappa scales the settled band linearly.
+  const auto half = params_for(256, 0.07, 1.0, 0.5);
+  EXPECT_NEAR(kllo_envelope(1u << 20, 256, half),
+              0.5 * base_of(256, params_for(256)), 1e-12);
+
+  // A tiny stab multiplier still leaves a one-round window (stab >= 1), so
+  // age 0 keeps the full allowance.
+  auto tiny = params_for(256);
+  tiny.stab_mult = 1e-6;
+  EXPECT_DOUBLE_EQ(kllo_envelope(0, 256, tiny), tiny.global);
+  EXPECT_DOUBLE_EQ(kllo_envelope(1, 256, tiny), base_of(256, tiny));
+}
+
+TEST(KlloConformance, EmptyTraceReportsAbsentMetrics) {
+  const sim::PulseTrace trace(4, std::vector<bool>(4, false));
+  const auto schedule =
+      relay::TopologySchedule::static_schedule(relay::Topology::ring(4));
+  const auto out = kllo_conformance(trace, schedule, params_for(4));
+  EXPECT_TRUE(std::isnan(out.ratio));
+  EXPECT_TRUE(std::isnan(out.edge_age_min));
+  EXPECT_EQ(out.violations, 0u);
+}
+
+}  // namespace
+}  // namespace crusader::runner

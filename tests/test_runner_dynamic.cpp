@@ -12,9 +12,12 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cps.hpp"
@@ -397,6 +400,346 @@ TEST(Dynamic, EffectiveCacheRefusesDynamicSchedules) {
   EXPECT_THROW((void)cache.get(2, config), util::CheckFailure);
 }
 
+TEST(EdgeAge, RewireResetsAgesAndQuietEpochsAgeEveryEdge) {
+  relay::EdgeAgeTracker tracker(relay::Topology::ring(6));
+  EXPECT_EQ(tracker.epoch(), 0u);
+  EXPECT_EQ(tracker.age(0, 1), 0u);
+
+  // Epochs without deltas age every surviving edge by one.
+  tracker.advance();
+  tracker.advance();
+  EXPECT_EQ(tracker.epoch(), 2u);
+  EXPECT_EQ(tracker.age(0, 1), 2u);
+  EXPECT_EQ(tracker.age(5, 0), 2u);
+
+  // A rewire restarts the clock for the new edge only; untouched edges keep
+  // aging through the same epoch.
+  relay::EpochDelta delta;
+  delta.removed = {{0, 1}};
+  delta.added = {{0, 2}};
+  tracker.apply(delta);
+  EXPECT_EQ(tracker.epoch(), 3u);
+  EXPECT_EQ(tracker.age(0, 2), 0u);
+  EXPECT_EQ(tracker.age(1, 2), 3u);
+  tracker.advance();
+  EXPECT_EQ(tracker.age(0, 2), 1u);
+  EXPECT_EQ(tracker.age(2, 0), 1u);  // endpoint order is irrelevant
+
+  // Re-adding a previously-removed edge births it fresh, not at its old age.
+  relay::EpochDelta back;
+  back.removed = {{0, 2}};
+  back.added = {{0, 1}};
+  tracker.apply(back);
+  EXPECT_EQ(tracker.age(0, 1), 0u);
+}
+
+TEST(EdgeAge, LeaveAndRejoinRestartsTheClock) {
+  relay::EdgeAgeTracker tracker(relay::Topology::ring(5));
+  tracker.advance();
+
+  relay::EpochDelta leave;
+  leave.leaves = {3};
+  leave.removed = {{2, 3}, {3, 4}};
+  tracker.apply(leave);
+  EXPECT_TRUE(tracker.down()[3]);
+  EXPECT_EQ(tracker.age(1, 2), 2u);  // survivors keep aging
+
+  tracker.advance();
+
+  relay::EpochDelta rejoin;
+  rejoin.joins = {3};
+  rejoin.added = {{2, 3}, {3, 4}};
+  tracker.apply(rejoin);
+  EXPECT_FALSE(tracker.down()[3]);
+  // The rejoined node's edges are newborn even where the endpoints match the
+  // pre-leave topology exactly.
+  EXPECT_EQ(tracker.age(2, 3), 0u);
+  EXPECT_EQ(tracker.age(3, 4), 0u);
+  EXPECT_EQ(tracker.age(1, 2), 4u);
+  tracker.advance();
+  EXPECT_EQ(tracker.age(2, 3), 1u);
+}
+
+TEST(EdgeAge, TrackerMatchesHandReplayForEveryReconnectPolicy) {
+  const auto topo = relay::Topology::hypercube(4);
+  for (const auto reconnect : {relay::ReconnectPolicy::kRandom,
+                               relay::ReconnectPolicy::kPreferential,
+                               relay::ReconnectPolicy::kRingRepair}) {
+    const auto schedule = relay::TopologySchedule::generate(
+        topo, churn_policy(0.25, 2, reconnect), 12, 31);
+    ASSERT_TRUE(schedule.dynamic());
+
+    // Independent replay: birth epoch per edge, maintained from the raw
+    // deltas with the generator's own at_epoch/down_at as the graph oracle.
+    std::map<std::pair<NodeId, NodeId>, std::uint64_t> birth;
+    const auto norm = [](NodeId a, NodeId b) {
+      return std::make_pair(std::min(a, b), std::max(a, b));
+    };
+    for (NodeId v = 0; v < topo.n(); ++v)
+      for (const NodeId w : topo.neighbors(v))
+        if (w > v) birth[norm(v, w)] = 0;
+
+    relay::EdgeAgeTracker tracker(schedule.initial());
+    const auto& deltas = schedule.deltas();
+    for (std::size_t e = 0; e <= deltas.size(); ++e) {
+      const auto graph = schedule.at_epoch(e);
+      const auto down = schedule.down_at(e);
+      ASSERT_EQ(tracker.epoch(), e);
+      ASSERT_EQ(tracker.topology().edge_count(), graph.edge_count())
+          << "epoch " << e;
+      ASSERT_EQ(tracker.down(), down) << "epoch " << e;
+      for (NodeId v = 0; v < graph.n(); ++v)
+        for (const NodeId w : graph.neighbors(v)) {
+          if (w < v) continue;
+          const auto it = birth.find(norm(v, w));
+          ASSERT_NE(it, birth.end()) << v << "-" << w << " epoch " << e;
+          EXPECT_EQ(tracker.age(v, w), e - it->second)
+              << v << "-" << w << " epoch " << e;
+        }
+      if (e < deltas.size()) {
+        for (const auto& [a, b] : deltas[e].removed) birth.erase(norm(a, b));
+        for (const auto& [a, b] : deltas[e].added) birth[norm(a, b)] = e + 1;
+        tracker.apply(deltas[e]);
+      }
+    }
+  }
+}
+
+TEST(EdgeAge, ExportedMinAgeMatchesHandReplayedSchedule) {
+  // The CSV's edge_age_min is the youngest live measured edge at the last
+  // complete round. Recover the exact schedule the runner generated (from
+  // the recorded seed) and hand-replay it for all three reconnect policies.
+  for (const auto reconnect : {relay::ReconnectPolicy::kRandom,
+                               relay::ReconnectPolicy::kPreferential,
+                               relay::ReconnectPolicy::kRingRepair}) {
+    ScenarioSpec spec;
+    spec.world = WorldKind::kRelay;
+    spec.protocol = baselines::ProtocolKind::kGradient;
+    spec.topology = TopologyKind::kHypercube;
+    spec.n = 16;
+    spec.churn_rate = 0.1;
+    spec.reconnect = reconnect;
+    spec.rounds = 10;
+    spec.warmup = 2;
+    const auto result = run_scenario(spec);
+    ASSERT_TRUE(result.error.empty()) << result.error;
+    ASSERT_EQ(result.rounds_completed, spec.rounds);
+    ASSERT_TRUE(std::isfinite(result.edge_age_min));
+
+    const auto schedule = relay::TopologySchedule::generate(
+        relay::Topology::hypercube(4),
+        churn_policy(spec.churn_rate, spec.join_batch, reconnect),
+        static_cast<std::uint32_t>(spec.rounds + 2),
+        result.seed ^ 0x5c4ed7ULL);
+    relay::EdgeAgeTracker tracker(schedule.initial());
+    const std::size_t last = result.rounds_completed - 1;
+    for (std::size_t r = 0; r < last; ++r) {
+      if (r < schedule.deltas().size())
+        tracker.apply(schedule.deltas()[r]);
+      else
+        tracker.advance();
+    }
+    double min_age = std::numeric_limits<double>::infinity();
+    const auto& graph = tracker.topology();
+    for (NodeId v = 0; v < graph.n(); ++v) {
+      if (tracker.down()[v]) continue;
+      for (const NodeId w : graph.neighbors(v)) {
+        if (w < v || tracker.down()[w]) continue;
+        min_age =
+            std::min(min_age, static_cast<double>(tracker.age(v, w)));
+      }
+    }
+    EXPECT_EQ(result.edge_age_min, min_age)
+        << relay::to_string(reconnect);
+  }
+}
+
+TEST(KlloGate, GradientPassesWhereJumpMaxFailsAcrossReconnectPolicies) {
+  // The conformance contrast: the bounded-rate gradient protocol sits inside
+  // the per-edge-age envelope on churned cells; jump-to-max — whose
+  // uncompensated estimate can never pull a drifting laggard — accumulates
+  // per-round drift until settled edges leave the O(log n) band.
+  for (const auto reconnect : {relay::ReconnectPolicy::kRandom,
+                               relay::ReconnectPolicy::kPreferential,
+                               relay::ReconnectPolicy::kRingRepair}) {
+    ScenarioSpec spec;
+    spec.world = WorldKind::kRelay;
+    spec.topology = TopologyKind::kHypercube;
+    spec.n = 16;
+    spec.churn_rate = 0.05;
+    spec.reconnect = reconnect;
+    spec.rounds = 24;
+    spec.warmup = 4;
+
+    spec.protocol = baselines::ProtocolKind::kGradient;
+    const auto good = run_scenario(spec);
+    ASSERT_TRUE(good.error.empty()) << good.error;
+    ASSERT_TRUE(good.live);
+    ASSERT_TRUE(std::isfinite(good.kllo_ratio));
+    EXPECT_LT(good.kllo_ratio, 1.0) << relay::to_string(reconnect);
+    EXPECT_EQ(good.kllo_violations, 0u) << relay::to_string(reconnect);
+
+    spec.protocol = baselines::ProtocolKind::kJumpMax;
+    const auto bad = run_scenario(spec);
+    ASSERT_TRUE(bad.error.empty()) << bad.error;
+    ASSERT_TRUE(bad.live);
+    ASSERT_TRUE(std::isfinite(bad.kllo_ratio));
+    EXPECT_GT(bad.kllo_ratio, 1.0) << relay::to_string(reconnect);
+    EXPECT_GT(bad.kllo_violations, 0u) << relay::to_string(reconnect);
+
+    // The --gate-kllo accumulator trips on exactly the jump-max row.
+    SweepSummary summary;
+    summary.kllo_gate_ratio = 1.0;
+    summary.add(good);
+    summary.add(bad);
+    EXPECT_EQ(summary.kllo_gate_violations, 1u)
+        << relay::to_string(reconnect);
+    // Both cells stay live, so the liveness gate alone would pass both —
+    // the envelope gate is what separates them.
+    EXPECT_FALSE(violates_gate(bad, 1e9));
+  }
+}
+
+/// The headline acceptance grid: gradient vs jump-to-max on a seeded n = 256
+/// churned hypercube (abstract crypto for speed), long enough past the
+/// stabilization window for the drift contrast to bind.
+std::vector<ScenarioSpec> kllo_acceptance_specs() {
+  SweepGrid grid;
+  grid.worlds = {WorldKind::kRelay};
+  grid.protocols = {baselines::ProtocolKind::kGradient,
+                    baselines::ProtocolKind::kJumpMax};
+  grid.ns = {256};
+  grid.fault_loads = {0};
+  grid.topologies = {TopologyKind::kHypercube};
+  grid.cryptos = {CryptoMode::kAbstract};
+  grid.churn_rates = {0.05};
+  grid.join_batches = {0};
+  grid.reconnects = {relay::ReconnectPolicy::kRandom};
+  grid.rounds = 40;
+  grid.warmup = 8;
+  return grid.expand();
+}
+
+TEST(KlloAcceptance, N256GateContrastIsByteStableAcrossEnginePaths) {
+  const auto specs = kllo_acceptance_specs();
+  ASSERT_EQ(specs.size(), 2u);
+  for (const auto& spec : specs) EXPECT_TRUE(spec.dynamic()) << spec.name();
+
+  // One CSV per engine configuration: the per-edge-age machinery must be
+  // invisible to the fast path and to the worker count.
+  const auto csv_for = [&](bool fast_path, unsigned threads) {
+    RunnerOptions options;
+    options.fast_path = fast_path;
+    options.threads = threads;
+    std::ostringstream os;
+    os << csv_header() << '\n';
+    run_sweep_streamed(specs, options, [&](const ScenarioResult& r) {
+      write_csv_row(os, r);
+    });
+    return os.str();
+  };
+  const std::string reference = csv_for(true, 1);
+  EXPECT_EQ(reference, csv_for(true, 4));
+  EXPECT_EQ(reference, csv_for(false, 1));
+
+  SweepSummary summary;
+  summary.kllo_gate_ratio = 1.0;
+  std::optional<ScenarioResult> gradient;
+  std::optional<ScenarioResult> jump_max;
+  run_sweep_streamed(specs, {}, [&](const ScenarioResult& r) {
+    summary.add(r);
+    if (r.spec.protocol == baselines::ProtocolKind::kGradient) gradient = r;
+    if (r.spec.protocol == baselines::ProtocolKind::kJumpMax) jump_max = r;
+  });
+  ASSERT_TRUE(gradient && jump_max);
+  ASSERT_TRUE(gradient->live && jump_max->live);
+  EXPECT_LT(gradient->kllo_ratio, 1.0);
+  EXPECT_EQ(gradient->kllo_violations, 0u);
+  EXPECT_GT(jump_max->kllo_ratio, 1.0);
+  EXPECT_GT(jump_max->kllo_violations, 0u);
+  EXPECT_EQ(summary.kllo_gate_violations, 1u);
+  // Churn keeps rewiring, so the last round's youngest measured edge is
+  // fresh — the fresh-edge allowance is load-bearing, not hypothetical.
+  EXPECT_TRUE(std::isfinite(gradient->edge_age_min));
+}
+
+TEST(KlloAcceptance, N256CampaignResumeAndHistoryRoundTrip) {
+  const auto specs = kllo_acceptance_specs();
+  const std::string dir = ::testing::TempDir();
+  const std::string clean_csv = dir + "/kllo_clean.csv";
+  const std::string clean_manifest = dir + "/kllo_clean.manifest";
+  const std::string csv = dir + "/kllo_killed.csv";
+  const std::string manifest = dir + "/kllo_killed.manifest";
+  for (const auto& p : {clean_csv, clean_manifest, csv, manifest})
+    std::filesystem::remove(p);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+  };
+
+  SweepSummary fresh;
+  fresh.kllo_gate_ratio = 1.0;
+  {
+    CsvCampaign campaign({clean_csv, clean_manifest, 1, 1}, specs);
+    run_sweep_streamed(specs, {}, [&](const ScenarioResult& r) {
+      campaign.append(r);
+      fresh.add(r);
+    });
+    campaign.finish();
+  }
+
+  // Kill after the first row; the resumed campaign replays it from the CSV
+  // and must feed the kllo gate and history stats identically.
+  {
+    CsvCampaign campaign({csv, manifest, 1, 1}, specs);
+    campaign.append(run_scenario(specs[0]));
+  }
+  SweepSummary resumed_summary;
+  resumed_summary.kllo_gate_ratio = 1.0;
+  CsvCampaign resumed({csv, manifest, 1, 1}, specs,
+                      [&](const ScenarioResult& r) {
+                        EXPECT_TRUE(std::isfinite(r.kllo_ratio));
+                        EXPECT_TRUE(std::isfinite(r.edge_age_min));
+                        resumed_summary.add(r);
+                      });
+  ASSERT_EQ(resumed.resume_index(), 1u);
+  const std::vector<ScenarioSpec> todo(specs.begin() + 1, specs.end());
+  run_sweep_streamed(todo, {}, [&](const ScenarioResult& r) {
+    resumed.append(r);
+    resumed_summary.add(r);
+  });
+  resumed.finish();
+  EXPECT_EQ(slurp(csv), slurp(clean_csv));
+  EXPECT_EQ(resumed_summary.kllo_gate_violations,
+            fresh.kllo_gate_violations);
+
+  // History: the k-tokens survive format → parse, and the resumed summary
+  // produces the byte-identical line.
+  const auto entry = make_history_entry(fresh, 1, 77);
+  const auto resumed_entry = make_history_entry(resumed_summary, 1, 77);
+  const auto line = format_history_line(entry);
+  EXPECT_EQ(line, format_history_line(resumed_entry));
+  EXPECT_NE(line.find("kmax="), std::string::npos) << line;
+  const auto parsed = parse_history_line(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  ASSERT_EQ(parsed->worlds.size(), 1u);
+  EXPECT_EQ(parsed->worlds[0].kcount, 2u);
+  EXPECT_GT(parsed->worlds[0].kmax, 1.0);  // the jump-max cell
+
+  // Trend gating: a kllo regression over this baseline fails by name.
+  auto regressed = *parsed;
+  regressed.worlds[0].kmax *= 2.0;
+  const auto failures = check_trend(*parsed, regressed, 5.0);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("kllo_ratio"), std::string::npos) << failures[0];
+  EXPECT_TRUE(check_trend(*parsed, *parsed, 0.0).empty());
+
+  for (const auto& p : {clean_csv, clean_manifest, csv, manifest})
+    std::filesystem::remove(p);
+}
+
 TEST(History, GradientTokensAreOptionalAndRoundTrip) {
   HistoryEntry entry;
   entry.seed = 3;
@@ -412,9 +755,11 @@ TEST(History, GradientTokensAreOptionalAndRoundTrip) {
   // format: no l* tokens at all.
   const auto static_line = format_history_line(entry);
   EXPECT_EQ(static_line.find("lmax"), std::string::npos) << static_line;
+  EXPECT_EQ(static_line.find("kmax"), std::string::npos) << static_line;
   const auto static_parsed = parse_history_line(static_line);
   ASSERT_TRUE(static_parsed.has_value());
   EXPECT_EQ(static_parsed->worlds[0].lcount, 0u);
+  EXPECT_EQ(static_parsed->worlds[0].kcount, 0u);
 
   entry.worlds[0].lmax = 0.9;
   entry.worlds[0].lmean = 0.6;
