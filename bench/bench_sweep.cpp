@@ -26,6 +26,13 @@
 // at increasing churn rates (seeded topology schedules), reporting
 // events/sec alongside the realized local (gradient) vs global skew — the
 // cost and the correctness story of churn in one table.
+//
+// E16 — adaptive vs oblivious relay adversaries: the witness hypercube cell
+// (ST at n=32, max fault load, worst-case delays) replayed under every
+// oblivious fault kind, the traffic-observing greedy-skew policy, and the
+// budgeted random search — the realized skew_ratio gap quantifies what
+// observation buys the adversary while every row stays inside the
+// Theorem-17 bound at (d_eff, u_eff).
 
 #include <algorithm>
 #include <chrono>
@@ -104,8 +111,20 @@ struct E15Row {
   double local_skew = 0.0;
 };
 
+/// One E16 measurement: the witness cell under one relay fault kind.
+struct E16Row {
+  const char* fault = "";
+  bool adaptive = false;
+  double skew_ratio = 0.0;
+  bool within_bound = false;
+  std::uint32_t attack_iters = 0;
+  std::uint64_t attack_best_seed = 0;
+  double seconds = 0.0;
+};
+
 void write_json(const std::string& path, const E14Summary& s,
-                const std::vector<E15Row>& churn) {
+                const std::vector<E15Row>& churn,
+                const std::vector<E16Row>& adaptive) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_sweep: cannot write " << path << "\n";
@@ -138,6 +157,19 @@ void write_json(const std::string& path, const E14Summary& s,
         << ", \"max_skew\": " << row.max_skew
         << ", \"local_skew\": " << row.local_skew << "}"
         << (i + 1 < churn.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n"
+      << "  \"e16\": [\n";
+  for (std::size_t i = 0; i < adaptive.size(); ++i) {
+    const auto& row = adaptive[i];
+    out << "    {\"fault\": \"" << row.fault << "\""
+        << ", \"adaptive\": " << (row.adaptive ? "true" : "false")
+        << ", \"skew_ratio\": " << row.skew_ratio
+        << ", \"within_bound\": " << (row.within_bound ? "true" : "false")
+        << ", \"attack_iters\": " << row.attack_iters
+        << ", \"attack_best_seed\": " << row.attack_best_seed
+        << ", \"seconds\": " << row.seconds << "}"
+        << (i + 1 < adaptive.size() ? ",\n" : "\n");
   }
   out << "  ]\n"
       << "}\n";
@@ -433,6 +465,65 @@ int run_bench(const std::optional<std::string>& json_path,
     bench::print(churn_table);
   }
 
+  // E16: what does observing the traffic buy the adversary? The witness
+  // cell (ST over the 2^5 hypercube at max fault load, worst-case
+  // deterministic delays) under every oblivious fault kind, then the
+  // traffic-observing greedy-skew policy and the budgeted random search
+  // (budget 8). Same topology, faulty set, and seed per row — only the
+  // adversary's information changes, so the skew_ratio column is a direct
+  // measurement of the adaptive gap. Every row must stay inside the
+  // Theorem-17 bound at (d_eff, u_eff): adaptivity sharpens the attack, it
+  // never escapes the model.
+  std::vector<E16Row> adaptive_rows;
+  {
+    auto witness_spec = [](relay::RelayFaultKind fault) {
+      runner::ScenarioSpec spec;
+      spec.world = runner::WorldKind::kRelay;
+      spec.topology = runner::TopologyKind::kHypercube;
+      spec.protocol = baselines::ProtocolKind::kSrikanthToueg;
+      spec.n = 32;
+      spec.f = runner::max_topology_faults(runner::TopologyKind::kHypercube,
+                                           32);
+      spec.f_actual = spec.f;
+      spec.u = 0.05;
+      spec.u_tilde = 0.05;
+      spec.vartheta = 1.01;
+      spec.delay = sim::DelayKind::kMax;
+      spec.relay_fault = fault;
+      spec.rounds = 10;
+      spec.warmup = 3;
+      return spec;
+    };
+    const relay::RelayFaultKind kinds[] = {
+        relay::RelayFaultKind::kCrash, relay::RelayFaultKind::kMaxDelay,
+        relay::RelayFaultKind::kReorder, relay::RelayFaultKind::kSelectiveDrop,
+        relay::RelayFaultKind::kGreedySkew, relay::RelayFaultKind::kSearch};
+
+    util::Table adaptive_table(
+        "E16: adaptive vs oblivious relay adversaries (ST, hypercube 2^5 at "
+        "max fault load, worst-case delays; search budget 8)");
+    adaptive_table.set_header({"fault kind", "adaptive", "ratio", "ok",
+                               "attack iters", "best seed", "seconds"});
+    for (const auto kind : kinds) {
+      auto spec = witness_spec(kind);
+      if (kind == relay::RelayFaultKind::kSearch) spec.search_budget = 8;
+      const auto run = timed_scenario(spec, {});
+      adaptive_rows.push_back({relay::to_string(kind),
+                               relay::adaptive(kind), run.result.skew_ratio,
+                               run.result.within_bound,
+                               run.result.attack_iters,
+                               run.result.attack_best_seed, run.seconds});
+      adaptive_table.add_row(
+          {relay::to_string(kind), relay::adaptive(kind) ? "yes" : "no",
+           util::Table::num(run.result.skew_ratio, 4),
+           run.result.within_bound ? "yes" : "NO",
+           std::to_string(run.result.attack_iters),
+           std::to_string(run.result.attack_best_seed),
+           util::Table::num(run.seconds, 3)});
+    }
+    bench::print(adaptive_table);
+  }
+
   // E14b: one 2^20-node hypercube flood-probe cell (sparse world at the
   // million-node mark) under a hard wall budget — the cell must finish, not
   // just start.
@@ -470,7 +561,7 @@ int run_bench(const std::optional<std::string>& json_path,
     if (large.result.timed_out) return 1;
   }
 
-  if (json_path) write_json(*json_path, summary, churn_rows);
+  if (json_path) write_json(*json_path, summary, churn_rows, adaptive_rows);
 
   // Trend gate on the dimensionless cost ratio (fast/reference wall clock):
   // machine speed cancels out, so a rising ratio means the fast path itself

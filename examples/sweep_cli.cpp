@@ -31,8 +31,11 @@
 //   --topology=ring,hypercube  relay topology families (complete|ring|
 //                              chordal-ring|ring-of-cliques|hypercube|random)
 //   --relay-fault=crash,reorder  faulty-relay behaviors for relay worlds
-//                              (crash|max-delay|reorder|selective-drop);
-//                              only multiplies faulty relay grid points
+//                              (crash|max-delay|reorder|selective-drop|
+//                              greedy-skew|search); only multiplies faulty
+//                              relay grid points. greedy-skew/search are
+//                              adaptive (traffic-observing) and additionally
+//                              multiply the churn axes
 //   --delays=random,split      delay policies (max|min|random|split), plus
 //                              custom spellings: custom:fixed:<fraction>,
 //                              custom:alternate, custom:target:<node>
@@ -58,6 +61,10 @@
 //                              settled after ceil(mult·(1+log2 n)) rounds
 //                              (relay-only; multiplies churned cells only —
 //                              static cells pin the multiplier to 1)
+//   --search-budget=8,32       candidate schedules per search-fault cell
+//                              (multiplies relay-fault=search cells only;
+//                              candidate 0 replays the greedy policy, so
+//                              search weakly dominates greedy-skew)
 // Scalars:
 //   --d=1.0 --rounds=20 --warmup=5 --seed=1 --threads=1 --slack=1.0
 //   --gate=RATIO   fail (exit 1) when any scenario errored/timed out or any
@@ -386,6 +393,16 @@ int main(int argc, char** argv) {
         }
         if (grid.kllo_stabs.empty())
           return fail("--kllo-stab needs at least one value");
+      } else if (key == "search-budget" || key == "search_budget") {
+        grid.search_budgets.clear();
+        for (const auto& s : split(value)) {
+          const auto budget = need_u64(key, s);
+          if (budget == 0 || budget > UINT32_MAX)
+            return fail("--search-budget takes counts >= 1, got '" + s + "'");
+          grid.search_budgets.push_back(static_cast<std::uint32_t>(budget));
+        }
+        if (grid.search_budgets.empty())
+          return fail("--search-budget needs at least one value");
       } else if (key == "reconnect") {
         grid.reconnects.clear();
         for (const auto& s : split(value)) {

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# CI smoke for the adaptive traffic-observing relay adversaries (registered
+# as the ctest `smoke_sweep_adaptive`, label `integration`): greedy-skew and
+# budgeted-search cells, static and churned, on a hypercube at the family's
+# maximum survivable fault load.
+#
+# What it proves:
+#   * adaptive cells pass --gate=1.0 — static rows stay inside the
+#     Theorem-17 bound at (d_eff, u_eff), churned rows stay live,
+#   * attack_iters / attack_best_seed export on every adaptive row (the
+#     budget on search rows, 1 on greedy rows) and stay EMPTY on oblivious
+#     rows — a consumer can never mistake an oblivious row for a
+#     zero-iteration attack,
+#   * the grid replays byte-identically (candidate seeds derive from the
+#     scenario seed, never wall-clock, so campaigns resume bit-exactly),
+#   * --search-budget=0 is rejected loudly instead of silently collapsing
+#     the search to nothing.
+#
+# Usage: smoke_sweep_adaptive.sh <path-to-sweep_cli> <workdir>
+set -euo pipefail
+
+CLI=$1
+DIR=$2
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+GRID=(--world=relay --topology=hypercube --protocols=cps --n=16 --faults=max
+      --relay-fault=greedy-skew,search --search-budget=4
+      --churn-rate=0,0.1 --u=0.01 --vartheta=1.001
+      --rounds=8 --warmup=2 --threads=2 --gate=1.0 --format=csv)
+
+echo "== adaptive cells pass the ratio/liveness gate =="
+"$CLI" "${GRID[@]}" --out="$DIR/adaptive.csv"
+
+echo "== determinism: the same grid replays byte-identically =="
+"$CLI" "${GRID[@]}" --out="$DIR/adaptive_again.csv"
+diff "$DIR/adaptive.csv" "$DIR/adaptive_again.csv"
+
+echo "== attack columns export on every adaptive row =="
+awk -F, '
+  NR==1 { for (i=1; i<=NF; i++) col[$i]=i; next }
+  {
+    fault = $col["relay_fault"]
+    iters = $col["attack_iters"]
+    if (fault == "greedy-skew" && iters + 0 != 1) {
+      print "greedy row without its single iteration: " $0; exit 1
+    }
+    if (fault == "search" && iters + 0 != 4) {
+      print "search row not at the configured budget: " $0; exit 1
+    }
+    if ($col["attack_best_seed"] == "") {
+      print "adaptive row missing attack_best_seed: " $0; exit 1
+    }
+    if ($col["live"] != "1") { print "adaptive row not live: " $0; exit 1 }
+    if ($col["churn_rate"] + 0 == 0 && $col["skew_ratio"] + 0 > 1.0) {
+      print "static adaptive row above the bound: " $0; exit 1
+    }
+    rows++
+  }
+  END {
+    # (greedy + search) x (static + churned) x 2 default delay kinds.
+    if (rows != 8) { print "expected 8 adaptive rows, got " rows; exit 1 }
+  }
+' "$DIR/adaptive.csv"
+
+echo "== oblivious rows keep the attack columns empty =="
+"$CLI" --world=relay --topology=hypercube --protocols=cps --n=16 --faults=max \
+       --relay-fault=max-delay --u=0.01 --vartheta=1.001 \
+       --rounds=8 --warmup=2 --threads=2 --gate=1.0 --format=csv \
+       --out="$DIR/oblivious.csv"
+awk -F, '
+  NR==1 { for (i=1; i<=NF; i++) col[$i]=i; next }
+  $col["attack_iters"] != "" || $col["attack_best_seed"] != "" {
+    print "oblivious row with attack columns: " $0; exit 1
+  }
+' "$DIR/oblivious.csv"
+
+echo "== --search-budget=0 is rejected =="
+if "$CLI" "${GRID[@]}" --search-budget=0 --out="$DIR/reject.csv" 2>/dev/null
+then
+  echo "smoke_sweep_adaptive: --search-budget=0 unexpectedly accepted"
+  exit 1
+fi
+
+echo "smoke_sweep_adaptive: OK"

@@ -3,13 +3,26 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace crusader::core {
+
+namespace {
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
 
 // --- EchoRushByzantine --------------------------------------------------------
 
@@ -223,6 +236,68 @@ void RandomByzantine::on_message(sim::AdversaryEnv& env, const sim::Message& m) 
   }
 }
 
+// --- ObservationLog / GreedySkewByzantine ---------------------------------------
+
+ObservationLog::ObservationLog(std::uint32_t n)
+    : late_sum_(n, 0.0), late_count_(n, 0) {}
+
+void ObservationLog::record(NodeId dealer, Round round, double now) {
+  if (dealer >= late_sum_.size()) return;  // kInvalidNode / foreign traffic
+  ++count_;
+  digest_ = util::mix64(digest_ ^ (static_cast<std::uint64_t>(dealer) << 40) ^
+                        static_cast<std::uint64_t>(round));
+  digest_ = util::mix64(digest_ ^ double_bits(now));
+  // Lateness is measured against the FIRST copy of the round the observer
+  // saw, so the estimator needs no clock model — only arrival order.
+  const auto it = round_first_.try_emplace(round, now).first;
+  const double lateness = now - it->second;
+  late_sum_[dealer] += lateness;
+  ++late_count_[dealer];
+  late_total_ += lateness;
+  ++late_total_count_;
+}
+
+bool ObservationLog::lagging(NodeId v) const {
+  if (v >= late_count_.size() || late_count_[v] == 0) return true;
+  if (late_total_count_ == 0) return true;
+  const double mean = late_total_ / static_cast<double>(late_total_count_);
+  return late_sum_[v] / static_cast<double>(late_count_[v]) >= mean;
+}
+
+void GreedySkewByzantine::on_start(sim::AdversaryEnv& env) {
+  log_ = std::make_unique<ObservationLog>(env.model().n);
+}
+
+void GreedySkewByzantine::on_message(sim::AdversaryEnv& env,
+                                     const sim::Message& m) {
+  const bool pulse_like = m.kind == sim::MsgKind::kTcbSig ||
+                          m.kind == sim::MsgKind::kLwPulse ||
+                          m.kind == sim::MsgKind::kStReady;
+  if (!pulse_like) return;
+  CS_CHECK(log_ != nullptr);
+  log_->record(m.dealer, m.round, env.real_now());
+
+  // Once per observed round: broadcast our own pulse-like message of the
+  // same kind, two-faced — earliest legal appearance to the nodes the log
+  // says lead, latest to the ones it says lag.
+  if (!sent_.insert(m.round).second) return;
+  const auto& model = env.model();
+  const double lo = model.d - model.u_tilde;
+  const double hi = model.d;
+  sim::Message own;
+  own.kind = m.kind;
+  own.round = m.round;
+  own.dealer = env.id();
+  if (m.kind == sim::MsgKind::kTcbSig)
+    own.sig = env.sign(crypto::make_pulse_payload(m.round));
+  else if (m.kind == sim::MsgKind::kStReady)
+    own.sig = env.sign(crypto::make_ready_payload(m.round));
+  for (NodeId to = 0; to < model.n; ++to) {
+    if (to == env.id()) continue;
+    env.send_with_delay(to, own, log_->lagging(to) ? hi : lo);
+  }
+}
+
 // --- StAcceleratorByzantine -----------------------------------------------------
 
 void StAcceleratorByzantine::on_message(sim::AdversaryEnv& env,
@@ -261,6 +336,7 @@ const char* to_string(ByzStrategy strategy) {
     case ByzStrategy::kPullLate: return "pull-late";
     case ByzStrategy::kReplay: return "replay";
     case ByzStrategy::kRandom: return "random";
+    case ByzStrategy::kGreedySkew: return "greedy-skew";
   }
   return "?";
 }
@@ -269,7 +345,7 @@ const std::vector<ByzStrategy>& all_byz_strategies() {
   static const std::vector<ByzStrategy> kAll = {
       ByzStrategy::kCrash,     ByzStrategy::kEchoRush, ByzStrategy::kSplit,
       ByzStrategy::kPullEarly, ByzStrategy::kPullLate, ByzStrategy::kReplay,
-      ByzStrategy::kRandom,
+      ByzStrategy::kRandom,    ByzStrategy::kGreedySkew,
   };
   return kAll;
 }
@@ -314,6 +390,8 @@ sim::ByzantineFactory make_byzantine_factory(ByzStrategy strategy,
       return [seed](NodeId v) {
         return std::make_unique<RandomByzantine>(seed ^ (0x85ebULL * v));
       };
+    case ByzStrategy::kGreedySkew:
+      return [](NodeId) { return std::make_unique<GreedySkewByzantine>(); };
   }
   CS_CHECK_MSG(false, "unknown strategy");
   return nullptr;

@@ -7,8 +7,10 @@
 // that no strategy trips it (except where a bench intentionally configures
 // ũ > u to demonstrate the Theorem-5 phenomenon).
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -110,6 +112,61 @@ class RandomByzantine final : public sim::ByzantineNode {
   std::unordered_set<std::uint64_t> signed_rounds_;
 };
 
+/// Deterministic record of the traffic a Byzantine node overhears: per-dealer
+/// arrival lateness relative to the first copy of each round, plus a
+/// count/digest pair so tests can assert bit-exact replay of the observation
+/// stream. This is the complete-world twin of relay::RelayAdversary's
+/// observation interface — same lateness estimator, same digest chaining.
+class ObservationLog {
+ public:
+  explicit ObservationLog(std::uint32_t n);
+
+  /// Records one overheard broadcast of `dealer` for `round` arriving at real
+  /// time `now` (Byzantine nodes may read real time; honest nodes cannot).
+  void record(NodeId dealer, Round round, double now);
+
+  /// True when `v`'s broadcasts arrive late (average lateness at or above the
+  /// global mean) — the node the adversary estimates to be behind. Unobserved
+  /// nodes count as lagging: with no evidence they lead, pushing them later
+  /// is the safe greedy move.
+  [[nodiscard]] bool lagging(NodeId v) const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  std::unordered_map<Round, double> round_first_;  // round → first arrival
+  std::vector<double> late_sum_;
+  std::vector<std::size_t> late_count_;
+  double late_total_ = 0.0;
+  std::size_t late_total_count_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+/// Adaptive traffic-observing strategy: watches every pulse-like broadcast it
+/// receives, estimates which honest nodes lead or lag from arrival lateness,
+/// and two-faces its own once-per-round broadcast — earliest legal delay
+/// (d − ũ) toward the leaders, full d toward the laggards. The observation-
+/// driven analogue of kSplit, choosing the split from traffic instead of node
+/// ids. Model-legal, so Theorem 17's bound must absorb it; tests assert it
+/// does.
+class GreedySkewByzantine final : public sim::ByzantineNode {
+ public:
+  void on_start(sim::AdversaryEnv& env) override;
+  void on_message(sim::AdversaryEnv& env, const sim::Message& m) override;
+  void on_timer(sim::AdversaryEnv&, std::uint64_t) override {}
+
+  /// The deterministic observation record (null before on_start).
+  [[nodiscard]] const ObservationLog* log() const noexcept {
+    return log_.get();
+  }
+
+ private:
+  std::unique_ptr<ObservationLog> log_;
+  std::unordered_set<Round> sent_;
+};
+
 /// Srikanth–Toueg-specific attack that realizes the baseline's Θ(d) skew:
 /// all faulty nodes pre-sign ⟨ready r⟩ for the rounds they observe and feed
 /// the signatures (at minimum delay) to one fixed target node. The target
@@ -141,6 +198,9 @@ enum class ByzStrategy {
   kPullLate,   // DeviantWrapper, max delays + send shift
   kReplay,
   kRandom,
+  kGreedySkew,  // ObservationLog-driven two-faced timing (appended last so
+                // pre-existing enum values — and every spec key folding them
+                // — keep their exact numeric identity)
 };
 
 [[nodiscard]] const char* to_string(ByzStrategy strategy);

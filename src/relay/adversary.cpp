@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -10,36 +11,72 @@
 
 namespace crusader::relay {
 
+namespace {
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
 const char* to_string(RelayFaultKind kind) {
   switch (kind) {
     case RelayFaultKind::kCrash: return "crash";
     case RelayFaultKind::kMaxDelay: return "max-delay";
     case RelayFaultKind::kReorder: return "reorder";
     case RelayFaultKind::kSelectiveDrop: return "selective-drop";
+    case RelayFaultKind::kGreedySkew: return "greedy-skew";
+    case RelayFaultKind::kSearch: return "search";
   }
   return "?";
 }
 
 RelayAdversary::RelayAdversary(RelayFaultKind kind, const Topology& topology,
-                               std::vector<bool> faulty, std::uint64_t seed)
-    : kind_(kind), faulty_(std::move(faulty)), seed_(seed) {
+                               std::vector<bool> faulty, std::uint64_t seed,
+                               std::uint64_t attack_seed)
+    : kind_(kind),
+      faulty_(std::move(faulty)),
+      seed_(seed),
+      attack_seed_(attack_seed) {
   CS_CHECK(faulty_.size() == topology.n());
-  if (kind_ != RelayFaultKind::kSelectiveDrop) return;
+  if (observing()) {
+    late_sum_.assign(topology.n(), 0.0);
+    late_count_.assign(topology.n(), 0);
+  }
+  refresh(topology);
+}
 
-  // Fix each faulty relay's served subset up front: a seed-chosen ⌈deg/2⌉
-  // of its neighbors. Per-relay forks keep the choice independent of how
-  // many relays are faulty.
-  allow_.resize(topology.n());
-  util::Rng rng(seed_ ^ 0x5e1d70bULL);
-  for (NodeId v = 0; v < topology.n(); ++v) {
-    if (!faulty_[v]) continue;
-    std::vector<NodeId> order = topology.neighbors(v);
-    util::Rng node_rng = rng.fork(v);
-    for (std::size_t i = order.size(); i > 1; --i)
-      std::swap(order[i - 1], order[node_rng.below(i)]);
-    const std::size_t keep = (order.size() + 1) / 2;
-    allow_[v].assign(topology.n(), false);
-    for (std::size_t i = 0; i < keep; ++i) allow_[v][order[i]] = true;
+void RelayAdversary::refresh(const Topology& topology) {
+  CS_CHECK(faulty_.size() == topology.n());
+  if (kind_ == RelayFaultKind::kSelectiveDrop) {
+    // Fix each faulty relay's served subset against the CURRENT graph: a
+    // seed-chosen ⌈deg/2⌉ of its live neighbors. Per-relay forks keep the
+    // choice independent of how many relays are faulty, and re-running this
+    // against the same graph reproduces the same masks — the refresh is a
+    // pure function of (graph, faulty set, seed).
+    allow_.assign(topology.n(), {});
+    util::Rng rng(seed_ ^ 0x5e1d70bULL);
+    for (NodeId v = 0; v < topology.n(); ++v) {
+      if (!faulty_[v]) continue;
+      std::vector<NodeId> order = topology.neighbors(v);
+      util::Rng node_rng = rng.fork(v);
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[node_rng.below(i)]);
+      const std::size_t keep = (order.size() + 1) / 2;
+      allow_[v].assign(topology.n(), false);
+      for (std::size_t i = 0; i < keep; ++i) allow_[v][order[i]] = true;
+    }
+    return;
+  }
+  if (adaptive(kind_)) {
+    // Adaptive drop victims are chosen among live edges only.
+    nbrs_.assign(topology.n(), {});
+    for (NodeId v = 0; v < topology.n(); ++v) {
+      if (faulty_[v]) nbrs_[v] = topology.neighbors(v);
+    }
   }
 }
 
@@ -48,7 +85,49 @@ bool RelayAdversary::participates(NodeId v) const {
   return !faulty_[v] || kind_ != RelayFaultKind::kCrash;
 }
 
-bool RelayAdversary::forwards(NodeId at, NodeId next) const {
+void RelayAdversary::observe(NodeId at, std::uint64_t flood_id,
+                             std::uint32_t hops, double now) {
+  CS_CHECK(at < late_sum_.size());
+  ++obs_count_;
+  obs_digest_ = util::mix64(obs_digest_ ^ (static_cast<std::uint64_t>(at) << 40) ^
+                            (static_cast<std::uint64_t>(hops) << 32) ^ flood_id);
+  obs_digest_ = util::mix64(obs_digest_ ^ double_bits(now));
+  const auto it = flood_first_.try_emplace(flood_id, now).first;
+  const double lateness = now - it->second;
+  late_sum_[at] += lateness;
+  ++late_count_[at];
+  late_total_ += lateness;
+  ++late_total_count_;
+}
+
+bool RelayAdversary::lagging(NodeId v) const {
+  if (v >= late_count_.size() || late_count_[v] == 0) return true;
+  if (late_total_count_ == 0) return true;
+  const double mean = late_total_ / static_cast<double>(late_total_count_);
+  return late_sum_[v] / static_cast<double>(late_count_[v]) >= mean;
+}
+
+NodeId RelayAdversary::greedy_victim(NodeId at) const {
+  const auto& nbrs = nbrs_[at];
+  if (nbrs.size() < 2) return kInvalidNode;
+  NodeId victim = kInvalidNode;
+  double worst = 0.0;
+  for (const NodeId next : nbrs) {
+    if (next >= late_count_.size() || late_count_[next] == 0) continue;
+    const double avg =
+        late_sum_[next] / static_cast<double>(late_count_[next]);
+    // Strict > keeps the first (neighbor-order) node on ties — the choice
+    // must not depend on container iteration quirks.
+    if (victim == kInvalidNode || avg > worst) {
+      victim = next;
+      worst = avg;
+    }
+  }
+  return victim;
+}
+
+bool RelayAdversary::forwards(NodeId at, NodeId next,
+                              std::uint64_t flood_id) const {
   CS_CHECK(at < faulty_.size() && next < faulty_.size());
   if (!faulty_[at]) return true;
   switch (kind_) {
@@ -56,6 +135,20 @@ bool RelayAdversary::forwards(NodeId at, NodeId next) const {
     case RelayFaultKind::kSelectiveDrop: return allow_[at][next];
     case RelayFaultKind::kMaxDelay:
     case RelayFaultKind::kReorder: return true;
+    case RelayFaultKind::kGreedySkew:
+      return next != greedy_victim(at);
+    case RelayFaultKind::kSearch: {
+      if (attack_seed_ == 0) return next != greedy_victim(at);
+      const auto& nbrs = nbrs_[at];
+      const std::size_t deg = nbrs.size();
+      if (deg < 2) return true;
+      // One victim per (relay, flood), index `deg` meaning "drop nobody".
+      const std::uint64_t h = util::mix64(
+          attack_seed_ ^ 0xd40bULL ^ (static_cast<std::uint64_t>(at) << 32) ^
+          flood_id);
+      const std::size_t idx = static_cast<std::size_t>(h % (deg + 1));
+      return idx == deg || nbrs[idx] != next;
+    }
   }
   return true;
 }
@@ -75,6 +168,17 @@ double RelayAdversary::hop_delay(NodeId at, NodeId next,
       const std::uint64_t h =
           util::mix64(seed_ ^ (static_cast<std::uint64_t>(at) << 40) ^
                       (static_cast<std::uint64_t>(next) << 20) ^ flood_id);
+      return (h & 1u) != 0 ? hi : lo;
+    }
+    case RelayFaultKind::kGreedySkew:
+      // Widen the frontier gap: full d_hop toward the lagging side, the
+      // fastest legal delay toward the leaders.
+      return lagging(next) ? hi : lo;
+    case RelayFaultKind::kSearch: {
+      if (attack_seed_ == 0) return lagging(next) ? hi : lo;
+      const std::uint64_t h = util::mix64(
+          attack_seed_ ^ (static_cast<std::uint64_t>(at) << 40) ^
+          (static_cast<std::uint64_t>(next) << 20) ^ flood_id);
       return (h & 1u) != 0 ? hi : lo;
     }
     case RelayFaultKind::kCrash:

@@ -20,12 +20,33 @@
 //    (⌈deg/2⌉): the connectivity-halving worst case short of crashing. The
 //    surviving graph still contains every path that exists with the relay
 //    deleted outright, so the D_f distance bound continues to hold.
+//  * kGreedySkew — ADAPTIVE: the adversary watches the flood frontier (every
+//    hop delivery feeds observe()) and estimates each node's lateness — how
+//    far behind the flood's first sighting its copies arrive. A faulty relay
+//    then slows the lagging side (full d_hop toward nodes at or above the
+//    mean lateness, d_hop − u_hop toward the leaders) and drops the single
+//    most-lagging neighbor, widening the fastest/slowest frontier gap online.
+//  * kSearch — a budgeted random-search schedule: per-(relay, flood) window
+//    extremes and a per-(relay, flood) drop victim, all derived from one
+//    attack seed. The runner replays the cell under N candidate seeds (seed
+//    0 = play greedy-skew) and keeps the argmax skew, so search weakly
+//    dominates greedy by construction and the winning schedule is replayable
+//    from its seed alone.
 //
-// Every behavior is within the model: realized skew must therefore stay
+// Every behavior is within the model: delays stay inside
+// [d_hop − u_hop, d_hop] and at most one neighbor is pruned per forward (the
+// surviving graph is a superset of the graph with the relay deleted, so the
+// D_f distance bound continues to hold). Realized skew must therefore stay
 // within the Theorem-17 bound at the effective (d_eff, u_eff) — which is
 // exactly what tests/test_relay_adversary.cpp asserts.
+//
+// Determinism: the oblivious kinds are pure functions of (kind, topology,
+// faulty set, seed). The adaptive kinds additionally read the observation
+// stream, which is itself a deterministic function of the simulation — the
+// rolling observation_digest() is the replay witness tests compare.
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "relay/topology.hpp"
@@ -34,19 +55,50 @@
 namespace crusader::relay {
 
 /// Per-relay misbehavior of a faulty node in the flood overlay.
-enum class RelayFaultKind { kCrash, kMaxDelay, kReorder, kSelectiveDrop };
+enum class RelayFaultKind {
+  kCrash,
+  kMaxDelay,
+  kReorder,
+  kSelectiveDrop,
+  kGreedySkew,
+  kSearch,
+};
 
 [[nodiscard]] const char* to_string(RelayFaultKind kind);
 
+/// Whether the kind observes traffic and chooses its behavior online
+/// (kGreedySkew) or via a searched attack schedule (kSearch). Adaptive kinds
+/// are the only ones that read the attack seed or the observation stream.
+[[nodiscard]] constexpr bool adaptive(RelayFaultKind kind) noexcept {
+  return kind == RelayFaultKind::kGreedySkew || kind == RelayFaultKind::kSearch;
+}
+
 /// Deterministic per-relay fault policy. All choices (selective-drop subsets,
-/// reorder parities) are pure functions of (kind, topology, faulty set,
-/// seed), so relay worlds stay bit-reproducible across threads and runs.
+/// reorder parities, search schedules) are pure functions of (kind, topology,
+/// faulty set, seed, attack seed); the adaptive greedy policy additionally
+/// folds the deterministic observation stream. Relay worlds stay
+/// bit-reproducible across threads and runs either way.
 class RelayAdversary {
  public:
+  /// `attack_seed` parameterizes kSearch's candidate schedule (0 = play the
+  /// greedy policy — the search loop's baseline candidate); other kinds
+  /// ignore it.
   RelayAdversary(RelayFaultKind kind, const Topology& topology,
-                 std::vector<bool> faulty, std::uint64_t seed);
+                 std::vector<bool> faulty, std::uint64_t seed,
+                 std::uint64_t attack_seed = 0);
 
   [[nodiscard]] RelayFaultKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t attack_seed() const noexcept {
+    return attack_seed_;
+  }
+
+  /// Rebuilds all topology-derived state (selective-drop masks, adaptive
+  /// neighbor lists) against `topology` — a pure function of (kind, graph,
+  /// faulty set, seed), so refreshing at an epoch boundary is equivalent to
+  /// constructing a fresh adversary against the epoch graph. Observation
+  /// state (the traffic already seen) deliberately survives: the adversary
+  /// keeps what it learned across rewires.
+  void refresh(const Topology& topology);
 
   /// Whether node v runs its protocol instance and relays at all. Faulty
   /// nodes participate under every kind except kCrash — a delaying or
@@ -54,10 +106,45 @@ class RelayAdversary {
   /// under the same adversarial policy as everyone else's.
   [[nodiscard]] bool participates(NodeId v) const;
 
-  /// Whether faulty relay `at` forwards flood copies to neighbor `next`
-  /// (always true for honest nodes; the selective-drop subset is fixed per
-  /// relay, not per flood).
-  [[nodiscard]] bool forwards(NodeId at, NodeId next) const;
+  /// Whether this adversary wants the per-hop observation stream (the
+  /// greedy policy, including search's seed-0 baseline candidate). Oblivious
+  /// kinds return false so the hot path pays nothing.
+  [[nodiscard]] bool observing() const noexcept {
+    return kind_ == RelayFaultKind::kGreedySkew ||
+           (kind_ == RelayFaultKind::kSearch && attack_seed_ == 0);
+  }
+
+  /// Per-hop observation callback: node `at` received flood `flood_id` after
+  /// `hops` hops at real time `now`. The full frontier is visible (the
+  /// adversary is omniscient about traffic, as SecureTime's attacker model
+  /// allows); lateness of each node is measured against the flood's first
+  /// sighting anywhere. Deterministic given the simulation, and folded into
+  /// observation_digest() so replays can be checked bit-exactly.
+  void observe(NodeId at, std::uint64_t flood_id, std::uint32_t hops,
+               double now);
+
+  /// Number of observe() calls and the rolling digest over their arguments —
+  /// the bit-exact replay witness.
+  [[nodiscard]] std::uint64_t observation_count() const noexcept {
+    return obs_count_;
+  }
+  [[nodiscard]] std::uint64_t observation_digest() const noexcept {
+    return obs_digest_;
+  }
+
+  /// Whether faulty relay `at` forwards flood `flood_id` to neighbor `next`
+  /// (always true for honest nodes). Oblivious kinds ignore the flood id;
+  /// greedy drops toward the most-lagging neighbor it has observed, search
+  /// picks a per-(relay, flood) victim from its attack seed. Both adaptive
+  /// kinds never drop below 2 live neighbors' worth of fan-out (at most one
+  /// victim per forward).
+  [[nodiscard]] bool forwards(NodeId at, NodeId next,
+                              std::uint64_t flood_id) const;
+  /// Flood-oblivious overload kept for the pre-adaptive call sites and
+  /// tests; equivalent to forwards(at, next, 0).
+  [[nodiscard]] bool forwards(NodeId at, NodeId next) const {
+    return forwards(at, next, 0);
+  }
 
   /// Delay the faulty relay `at` imposes on the hop to `next` for flood
   /// `flood_id`, given the legal window [lo, hi] and the delay the honest
@@ -67,12 +154,34 @@ class RelayAdversary {
                                  double lo, double hi) const;
 
  private:
+  /// Greedy estimate: is `v` on the lagging side of the observed frontier?
+  /// Unobserved nodes count as lagging (no evidence they are ahead).
+  [[nodiscard]] bool lagging(NodeId v) const;
+  /// The single most-lagging observed neighbor of faulty relay `at`, or
+  /// kInvalidNode when nothing has been observed yet (no drop) or the relay
+  /// has fewer than 2 neighbors (dropping would disconnect it outright).
+  [[nodiscard]] NodeId greedy_victim(NodeId at) const;
+
   RelayFaultKind kind_;
   std::vector<bool> faulty_;
   std::uint64_t seed_;
+  std::uint64_t attack_seed_ = 0;
   /// kSelectiveDrop only: allow_[v] is an n-wide neighbor mask for each
   /// faulty v (empty for honest nodes and other kinds).
   std::vector<std::vector<bool>> allow_;
+  /// Adaptive kinds only: the current neighbor list of each faulty relay,
+  /// rebuilt by refresh() so drop victims are always chosen among live
+  /// edges.
+  std::vector<std::vector<NodeId>> nbrs_;
+
+  // --- Observation state (greedy policy only; survives refresh()) ---------
+  std::unordered_map<std::uint64_t, double> flood_first_;  ///< flood → t₀
+  std::vector<double> late_sum_;          ///< per-node Σ(now − t₀)
+  std::vector<std::uint64_t> late_count_;
+  double late_total_ = 0.0;
+  std::uint64_t late_total_count_ = 0;
+  std::uint64_t obs_count_ = 0;
+  std::uint64_t obs_digest_ = 0;
 };
 
 }  // namespace crusader::relay

@@ -239,9 +239,11 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
     dynamic_ = true;
     CS_CHECK_MSG(config_.schedule->initial().n() == n,
                  "schedule initial graph must match the topology size");
-    CS_CHECK_MSG(config_.faulty.empty(),
-                 "dynamic schedules run fault-free; churn and Byzantine "
-                 "relays are separate regimes");
+    CS_CHECK_MSG(
+        config_.faulty.empty() ||
+            config_.fault_kind != RelayFaultKind::kCrash,
+        "dynamic schedules need participating fault kinds; a crashed "
+        "relay under churn is a leave the schedule never recorded");
     CS_CHECK_MSG(config_.epoch_start > 0.0 && config_.epoch_length > 0.0,
                  "dynamic schedule needs positive epoch timing");
     factory_ = factory;
@@ -250,7 +252,7 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
   }
   adversary_ = std::make_unique<RelayAdversary>(
       config_.fault_kind, config_.topology, faulty_,
-      config_.seed ^ 0xada7eULL);
+      config_.seed ^ 0xada7eULL, config_.attack_seed);
 
   pki_ = std::make_unique<crypto::Pki>(n, config_.pki_kind,
                                        config_.seed ^ 0xf100dULL);
@@ -266,6 +268,12 @@ RelayWorld::RelayWorld(RelayConfig config, sim::HonestFactory factory,
     for (NodeId v = 0; v < n; ++v) {
       if (churned[v]) metric_mask[v] = true;
     }
+    // Faulty relays must be pinned against churn (ChurnPolicy::pinned): a
+    // leave/rejoin of a Byzantine node is a crash-and-restart, a strictly
+    // weaker adversary than the persistent one this cell claims to run.
+    for (const NodeId v : config_.faulty)
+      CS_CHECK_MSG(!churned[v],
+                   "faulty relays may not churn; pin them in ChurnPolicy");
   }
   trace_ = std::make_unique<sim::PulseTrace>(n, metric_mask);
 
@@ -340,6 +348,18 @@ void RelayWorld::apply_delta(std::size_t epoch) {
   }
   for (const auto& [a, b] : delta.added) {
     config_.topology.add_edge(a, b);
+  }
+  // Refresh topology-derived adversary state against the completed epoch
+  // graph BEFORE replaying retained floods across the new edges: a faulty
+  // relay's drop masks and victim lists must describe its post-rewire
+  // neighbor set, never the stale initial one. The refresh is a pure
+  // function of (kind, graph, faulty set, seed) — see RelayAdversary. The
+  // replays themselves then run under the refreshed policy (reforward
+  // consults the adversary like any other forward). Delay-policy RNG draws
+  // happen in the same (a,b)/(b,a) order as before, so fault-free dynamic
+  // cells keep their historical bytes.
+  adversary_->refresh(config_.topology);
+  for (const auto& [a, b] : delta.added) {
     reforward(a, b);
     reforward(b, a);
   }
@@ -372,11 +392,18 @@ void RelayWorld::apply_delta(std::size_t epoch) {
 
 void RelayWorld::reforward(NodeId from, NodeId to) {
   if (hosts_[from] == nullptr) return;
+  // A faulty retainer replays through the same adversary policy as a live
+  // forward: pruned destinations stay pruned and delays stay overridden —
+  // otherwise a rewire would launder an adversarial edge into an honest one.
+  const bool adversarial = faulty_[from];
   const double lo = config_.hop_model.d - config_.hop_model.u;
   const double hi = config_.hop_model.d;
   for (const RetainedFlood& r : recent_[from]) {
-    const double delay =
+    if (adversarial && !adversary_->forwards(from, to, r.flood_id)) continue;
+    double delay =
         hop_policy_->delay(from, to, engine_.now(), *r.ref, lo, hi, rng_);
+    if (adversarial)
+      delay = adversary_->hop_delay(from, to, r.flood_id, delay, lo, hi);
     ++physical_messages_;
     engine_.at(engine_.now() + delay,
                [this, to, flood_id = r.flood_id, next_hops = r.hops + 1,
@@ -399,6 +426,13 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
   // everything — including the node's own broadcasts, which never start
   // because crashed nodes have no host).
   if (hosts_[at] == nullptr) return;
+  // Adaptive adversaries watch the whole frontier: every delivery (not just
+  // first sights) feeds the observation stream. The guard keeps oblivious
+  // kinds at zero cost; determinism holds because hop_deliver invocation
+  // order is itself deterministic (and invariant across the batch fast path
+  // and thread counts — see tests/test_relay_adaptive.cpp).
+  if (adversary_->observing())
+    adversary_->observe(at, flood_id, hops, engine_.now());
   NodeHost& host = *hosts_[at];
   const sim::Message& m = *ref;
 
@@ -460,7 +494,7 @@ void RelayWorld::hop_deliver(NodeId at, std::uint64_t flood_id,
     // Reference path (and always the path for faulty relays: their forward
     // pruning and per-copy delay overrides are per neighbor).
     for (const NodeId next : nbrs) {
-      if (adversarial && !adversary_->forwards(at, next)) continue;
+      if (adversarial && !adversary_->forwards(at, next, flood_id)) continue;
       double delay = hop_policy_->delay(at, next, engine_.now(), m, lo, hi, rng_);
       if (adversarial)
         delay = adversary_->hop_delay(at, next, flood_id, delay, lo, hi);

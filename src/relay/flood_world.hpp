@@ -7,7 +7,8 @@
 //  * A broadcast by node `origin` becomes a flood: each honest node forwards
 //    the first copy it receives to all its neighbours; faulty nodes behave
 //    per the configured RelayAdversary policy (crash / max-delay / reorder /
-//    selective-drop — see relay/adversary.hpp). A faulty origin's own
+//    selective-drop, plus the adaptive traffic-observing greedy-skew/search
+//    pair — see relay/adversary.hpp). A faulty origin's own
 //    broadcast rides the same policy: under every kind except kCrash the
 //    node speaks, and its outgoing hops take adversarial delays.
 //  * Each physical hop takes an adversary-chosen delay in
@@ -64,6 +65,10 @@ struct RelayConfig {
   /// but delay, reorder, or selectively drop what they forward.
   std::vector<NodeId> faulty;
   RelayFaultKind fault_kind = RelayFaultKind::kCrash;
+  /// Attack schedule seed for RelayFaultKind::kSearch candidates (0 = the
+  /// greedy baseline candidate); ignored by every other kind. See
+  /// relay/adversary.hpp.
+  std::uint64_t attack_seed = 0;
   /// Optional custom per-hop delay policy factory (overrides delay_kind) —
   /// mirrors sim::WorldConfig::custom_delay so every DelayPolicy is
   /// reachable in relay worlds too.
@@ -85,8 +90,10 @@ struct RelayConfig {
   /// Dynamic-network schedule. Null (or a static schedule) is the historical
   /// fixed-graph world, byte-identical to the pre-schedule code. When
   /// dynamic, `topology` must equal schedule->initial(); the world mutates
-  /// its own copy as epoch deltas apply, and `faulty` must be empty (churn
-  /// and Byzantine relays are separate regimes for now).
+  /// its own copy as epoch deltas apply. Faulty relays are allowed for every
+  /// participating fault kind (not kCrash — a crashed relay under churn is a
+  /// leave the schedule never recorded) but must never churn themselves:
+  /// pin them via ChurnPolicy::pinned when generating the schedule.
   std::shared_ptr<const TopologySchedule> schedule;
   /// Real time at which epoch delta 0 applies; delta e applies at
   /// epoch_start + e·epoch_length. Both required positive when the schedule

@@ -246,6 +246,7 @@ TopologySchedule TopologySchedule::generate(const Topology& initial,
       for (int attempt = 0; attempt < 16; ++attempt) {
         const NodeId v = pick_live(rng, down, n);
         if (v == kInvalidNode || v == n - 1) continue;
+        if (v < policy.pinned.size() && policy.pinned[v]) continue;
         if (std::find(builder.delta.joins.begin(), builder.delta.joins.end(),
                       v) != builder.delta.joins.end()) {
           continue;

@@ -157,6 +157,16 @@ std::vector<Field> fields(const ScenarioResult& r) {
   add("kllo_violations", s.world == WorldKind::kRelay
                              ? Field{"", std::to_string(r.kllo_violations)}
                              : Field{"", "", false, true});
+  // Adaptive-adversary block: populated only where the search loop ran
+  // (relay, instantiated faults, greedy-skew/search), empty / JSON null
+  // everywhere else so oblivious rows never read as zero-iteration attacks.
+  const bool attacked = s.world == WorldKind::kRelay && s.f_actual > 0 &&
+                        relay::adaptive(s.relay_fault);
+  add("attack_iters", attacked ? Field{"", std::to_string(r.attack_iters)}
+                               : Field{"", "", false, true});
+  add("attack_best_seed",
+      attacked ? Field{"", std::to_string(r.attack_best_seed)}
+               : Field{"", "", false, true});
   add("messages", {"", std::to_string(r.messages)});
   add("events", {"", std::to_string(r.events)});
   add("sign_ops", {"", std::to_string(r.sign_ops)});

@@ -56,6 +56,11 @@ HistoryEntry make_history_entry(const SweepSummary& summary,
       ratio.kmax = w.kllo.max();
       ratio.kmean = w.kllo.mean();
     }
+    ratio.acount = w.adaptive.count();
+    if (ratio.acount > 0) {
+      ratio.amax = w.adaptive.max();
+      ratio.amean = w.adaptive.mean();
+    }
     entry.worlds.push_back(ratio);
   }
   return entry;
@@ -79,6 +84,11 @@ std::string format_history_line(const HistoryEntry& entry) {
     if (w.kcount > 0)
       os << ",kmax=" << fmt(w.kmax) << ",kmean=" << fmt(w.kmean)
          << ",kcount=" << w.kcount;
+    // Adaptive-adversary stats, same optionality: only adaptive relay cells
+    // feed acount, so pre-adaptive grids format byte-identically.
+    if (w.acount > 0)
+      os << ",amax=" << fmt(w.amax) << ",amean=" << fmt(w.amean)
+         << ",acount=" << w.acount;
   }
   return os.str();
 }
@@ -183,6 +193,18 @@ std::optional<HistoryEntry> parse_history_line(std::string_view line) {
           const auto kcount = parse_u64_strict(*v);
           if (!kcount) return std::nullopt;
           ratio.kcount = static_cast<std::size_t>(*kcount);
+        } else if (const auto v = parse_kv(part, "amax")) {
+          const auto amax = parse_double_strict(*v);
+          if (!amax) return std::nullopt;
+          ratio.amax = *amax;
+        } else if (const auto v = parse_kv(part, "amean")) {
+          const auto amean = parse_double_strict(*v);
+          if (!amean) return std::nullopt;
+          ratio.amean = *amean;
+        } else if (const auto v = parse_kv(part, "acount")) {
+          const auto acount = parse_u64_strict(*v);
+          if (!acount) return std::nullopt;
+          ratio.acount = static_cast<std::size_t>(*acount);
         } else {
           return std::nullopt;
         }
@@ -278,6 +300,19 @@ std::vector<std::string> check_trend(
                              ": max kllo_ratio " + fmt(w.kmax) +
                              " regressed > " + fmt(pct) + "% over baseline " +
                              fmt(b.kmax));
+        }
+      }
+      // Adaptive-adversary trend, same both-sides gating. Note the sign: a
+      // HIGHER adaptive ratio is a stronger empirical worst case, but as a
+      // conformance trend the gate still reads growth past the baseline as
+      // a regression of the protocol's margin.
+      if (w.acount > 0 && b.acount > 0) {
+        const double alimit = b.amax * (1.0 + pct / 100.0) + 1e-12;
+        if (w.amax > alimit) {
+          failures.push_back(std::string(to_string(w.world)) +
+                             ": max adaptive skew_ratio " + fmt(w.amax) +
+                             " regressed > " + fmt(pct) + "% over baseline " +
+                             fmt(b.amax));
         }
       }
       break;

@@ -55,6 +55,14 @@ struct HistoryEntry {
     double kmax = 0.0;
     double kmean = 0.0;
     std::size_t kcount = 0;
+    /// skew_ratio stats over the world's adaptive-adversary cells
+    /// (greedy-skew/search with instantiated faults) — the empirical
+    /// worst-case trend signal. Same optional-token treatment (acount == 0
+    /// omits amax/amean/acount), so pre-adaptive history files keep their
+    /// exact bytes.
+    double amax = 0.0;
+    double amean = 0.0;
+    std::size_t acount = 0;
   };
   std::vector<WorldRatio> worlds;
 };

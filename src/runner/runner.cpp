@@ -183,7 +183,8 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
   if (spec.custom_delay) config.custom_delay = spec.custom_delay->factory();
   // Faulty relays misbehave per the spec's relay-fault axis: crash (drop
   // everything) or the signature-legal Byzantine behaviors — max-delay,
-  // reorder, selective-drop (relay/adversary.hpp).
+  // reorder, selective-drop, plus the adaptive greedy-skew/search pair
+  // (relay/adversary.hpp).
   config.faulty = sim::default_faulty_set(spec.f_actual);
   config.fault_kind = spec.relay_fault;
   config.pki_kind = pki_kind_for(spec.crypto);
@@ -191,13 +192,22 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
 
   std::shared_ptr<const relay::TopologySchedule> schedule;
   if (spec.dynamic()) {
-    CS_CHECK_MSG(spec.f_actual == 0,
-                 "dynamic relay cells run fault-free: churn and Byzantine "
-                 "relays are separate regimes");
+    CS_CHECK_MSG(spec.f_actual == 0 ||
+                     spec.relay_fault != relay::RelayFaultKind::kCrash,
+                 "dynamic relay cells need participating fault kinds: a "
+                 "crashed relay under churn is a leave the schedule never "
+                 "recorded");
     relay::ChurnPolicy policy;
     policy.churn_rate = spec.churn_rate;
     policy.join_batch = spec.join_batch;
     policy.reconnect = spec.reconnect;
+    if (spec.f_actual > 0) {
+      // Faulty relays are pinned against churn: a leave/rejoin of a
+      // Byzantine node would be a crash-and-restart, a strictly weaker
+      // adversary than the persistent one this cell claims to run.
+      policy.pinned.assign(spec.n, false);
+      for (const NodeId v : config.faulty) policy.pinned[v] = true;
+    }
     // One epoch per round (plus the horizon's tail). Generation is
     // timing-free — real-time alignment happens below once the round length
     // is known.
@@ -208,6 +218,18 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
             result.seed ^ 0x5c4ed7ULL));
   }
   const bool dynamic = schedule != nullptr && schedule->dynamic();
+  // A targeted custom delay aimed at a node that churns would silently
+  // change meaning mid-run (the target is torn down and restarted, its
+  // in-flight deliveries dropped); error the cell instead — target a stable
+  // node (n−1 never leaves) to combine targeted delays with churn.
+  if (dynamic && spec.custom_delay &&
+      spec.custom_delay->kind == CustomDelaySpec::Kind::kTarget) {
+    const std::vector<bool> churned = schedule->ever_churned();
+    CS_CHECK_MSG(!churned[spec.custom_delay->target],
+                 "custom:target node " << spec.custom_delay->target
+                                       << " churns under this schedule; "
+                                          "target a stable node instead");
+  }
   // Gradient/jump-max are one-hop protocols: messages reach current
   // neighbors only (no flood), and the effective model IS the hop model —
   // constructed directly because effective_from_hops() would reject a
@@ -252,45 +274,96 @@ void run_relay_world(const ScenarioSpec& spec, const RunnerOptions& options,
     config.epoch_length = setup.round_length;
   }
 
-  relay::RelayWorld world(
-      config,
-      baselines::make_protocol_factory(setup, static_cast<Round>(spec.rounds)),
-      effective);
-  const relay::RelayRunResult run = world.run();
+  // One world run under a given attack seed, filling `out` (a copy of the
+  // NaN-initialized base result) with every post-run metric. Oblivious
+  // kinds ignore the attack seed entirely, so seed 0 is the historical
+  // single run.
+  auto run_candidate = [&](std::uint64_t attack_seed, ScenarioResult& out) {
+    relay::RelayConfig candidate = config;
+    candidate.attack_seed = attack_seed;
+    relay::RelayWorld world(candidate,
+                            baselines::make_protocol_factory(
+                                setup, static_cast<Round>(spec.rounds)),
+                            effective);
+    const relay::RelayRunResult run = world.run();
 
-  result.live = run.trace.live(spec.rounds);
-  result.rounds_completed = run.trace.complete_rounds();
-  result.messages = run.physical_messages;
-  result.events = run.events;
-  result.sign_ops = run.sign_ops;
-  result.verify_ops = run.verify_ops;
+    out.live = run.trace.live(spec.rounds);
+    out.rounds_completed = run.trace.complete_rounds();
+    out.messages = run.physical_messages;
+    out.events = run.events;
+    out.sign_ops = run.sign_ops;
+    out.verify_ops = run.verify_ops;
 
-  if (result.rounds_completed > 0) {
-    fill_skew_metrics(run.trace, spec, result);
-    result.within_bound =
-        result.max_skew <= result.predicted_skew + options.bound_tolerance;
-    const relay::TopologySchedule measure_schedule =
-        dynamic ? *schedule
-                : relay::TopologySchedule::static_schedule(config.topology);
-    const std::vector<double> series =
-        local_skew_series(run.trace, measure_schedule);
-    if (!series.empty())
-      result.local_skew = *std::max_element(series.begin(), series.end());
-    // Per-edge-age envelope conformance. sigma is the per-round uncertainty
-    // an adjacent pair accumulates under the effective model; the global
-    // allowance n·sigma is what a node that just (re)connected may lag by
-    // before the protocol has had any rounds to pull it in.
-    KlloEnvelopeParams params;
-    params.sigma = effective.model.u +
-                   (effective.model.vartheta - 1.0) * setup.round_length;
-    params.global = static_cast<double>(spec.n) * params.sigma;
-    params.stab_mult = spec.kllo_stab;
-    const KlloConformance kllo =
-        kllo_conformance(run.trace, measure_schedule, params);
-    result.kllo_ratio = kllo.ratio;
-    result.kllo_violations = kllo.violations;
-    result.edge_age_min = kllo.edge_age_min;
+    if (out.rounds_completed > 0) {
+      fill_skew_metrics(run.trace, spec, out);
+      out.within_bound =
+          out.max_skew <= out.predicted_skew + options.bound_tolerance;
+      const relay::TopologySchedule measure_schedule =
+          dynamic ? *schedule
+                  : relay::TopologySchedule::static_schedule(config.topology);
+      const std::vector<double> series =
+          local_skew_series(run.trace, measure_schedule);
+      if (!series.empty())
+        out.local_skew = *std::max_element(series.begin(), series.end());
+      // Per-edge-age envelope conformance. sigma is the per-round
+      // uncertainty an adjacent pair accumulates under the effective model;
+      // the global allowance n·sigma is what a node that just (re)connected
+      // may lag by before the protocol has had any rounds to pull it in.
+      KlloEnvelopeParams params;
+      params.sigma = effective.model.u +
+                     (effective.model.vartheta - 1.0) * setup.round_length;
+      params.global = static_cast<double>(spec.n) * params.sigma;
+      params.stab_mult = spec.kllo_stab;
+      const KlloConformance kllo =
+          kllo_conformance(run.trace, measure_schedule, params);
+      out.kllo_ratio = kllo.ratio;
+      out.kllo_violations = kllo.violations;
+      out.edge_age_min = kllo.edge_age_min;
+    }
+  };
+
+  const bool adaptive = relay::adaptive(spec.relay_fault) && spec.f_actual > 0;
+  if (!adaptive) {
+    run_candidate(0, result);  // attack_iters/attack_best_seed stay 0
+    return;
   }
+
+  // Adaptive kinds: candidate 0 plays the greedy policy; search replays the
+  // cell under budget−1 further seeded attack schedules and keeps the argmax
+  // max_skew (≡ argmax skew_ratio — the denominator is per-cell constant;
+  // strict > keeps the earliest candidate on ties, so search with any budget
+  // weakly dominates greedy by construction). Candidate seeds derive from
+  // the scenario seed, never wall-clock, so a killed campaign resumes to the
+  // byte-identical row.
+  const std::uint32_t budget =
+      spec.relay_fault == relay::RelayFaultKind::kSearch
+          ? std::max(spec.search_budget, 1u)
+          : 1u;
+  const ScenarioResult base = result;
+  std::optional<ScenarioResult> best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::uint64_t best_seed = 0;
+  for (std::uint32_t k = 0; k < budget; ++k) {
+    std::uint64_t attack_seed = 0;
+    if (k > 0) {
+      attack_seed = util::Rng(result.seed ^ 0xa77ac4ULL).fork(k).next_u64();
+      if (attack_seed == 0) attack_seed = 1;  // 0 is the greedy sentinel
+    }
+    ScenarioResult candidate = base;
+    run_candidate(attack_seed, candidate);
+    const double score =
+        candidate.rounds_completed > 0 && std::isfinite(candidate.max_skew)
+            ? candidate.max_skew
+            : -std::numeric_limits<double>::infinity();
+    if (!best || score > best_score) {
+      best = std::move(candidate);
+      best_score = score;
+      best_seed = attack_seed;
+    }
+  }
+  result = *best;
+  result.attack_iters = budget;
+  result.attack_best_seed = best_seed;
 }
 
 /// Theorem-5 path: the three-execution adversary. predicted_skew is the
@@ -571,6 +644,13 @@ void SweepSummary::add(const ScenarioResult& result) {
     world.local.add(result.local_skew_ratio);
   if (result.spec.dynamic() && std::isfinite(result.kllo_ratio))
     world.kllo.add(result.kllo_ratio);
+  // Adaptive-adversary rows only: the empirical worst-case trend signal.
+  // Grids without adaptive cells feed nothing, keeping history lines
+  // byte-identical (see HistoryEntry's optional a* tokens).
+  if (result.spec.world == WorldKind::kRelay && result.spec.f_actual > 0 &&
+      relay::adaptive(result.spec.relay_fault) &&
+      std::isfinite(result.skew_ratio))
+    world.adaptive.add(result.skew_ratio);
   if (result.rounds_completed > 0 && !result.within_bound)
     ++world.bound_misses;
 }

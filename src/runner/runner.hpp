@@ -107,6 +107,14 @@ struct ScenarioResult {
   /// kTheorem5: the realized skew reached the lower bound (bound_holds).
   /// Only meaningful within the protocol's resilience; recorded regardless.
   bool within_bound = false;
+  /// Adaptive relay adversaries only (relay::adaptive(spec.relay_fault) and
+  /// f_actual > 0; 0/null elsewhere): how many candidate attack schedules
+  /// the cell ran (1 for greedy-skew, spec.search_budget for search) and the
+  /// winning candidate's attack seed (0 = the greedy baseline candidate).
+  /// Replaying the cell with RelayConfig::attack_seed = attack_best_seed
+  /// reproduces the winning skew_ratio bit-for-bit.
+  std::uint32_t attack_iters = 0;
+  std::uint64_t attack_best_seed = 0;
   std::uint64_t messages = 0;
   std::uint64_t events = 0;
   std::uint64_t sign_ops = 0;
@@ -230,6 +238,11 @@ struct SweepSummary {
     /// Over dynamic rows with a finite kllo_ratio — same static-row
     /// exclusion (and the same optional-token history treatment) as `local`.
     util::OnlineStats kllo;
+    /// Over adaptive-adversary rows (relay, f_actual > 0, greedy-skew or
+    /// search) with a finite skew_ratio — the trend signal for the empirical
+    /// worst-case search. Same optional-token history treatment: grids
+    /// without adaptive cells keep their historical bytes.
+    util::OnlineStats adaptive;
     /// Completed rows whose within_bound check failed.
     std::size_t bound_misses = 0;
   };

@@ -112,6 +112,9 @@ std::optional<relay::RelayFaultKind> parse_relay_fault(std::string_view s) {
   if (s == "reorder") return relay::RelayFaultKind::kReorder;
   if (s == "selective-drop" || s == "drop")
     return relay::RelayFaultKind::kSelectiveDrop;
+  if (s == "greedy-skew" || s == "greedy")
+    return relay::RelayFaultKind::kGreedySkew;
+  if (s == "search") return relay::RelayFaultKind::kSearch;
   return std::nullopt;
 }
 
@@ -218,6 +221,7 @@ std::optional<core::ByzStrategy> parse_byz_strategy(std::string_view s) {
   if (s == "pull-late") return core::ByzStrategy::kPullLate;
   if (s == "replay") return core::ByzStrategy::kReplay;
   if (s == "random") return core::ByzStrategy::kRandom;
+  if (s == "greedy-skew") return core::ByzStrategy::kGreedySkew;
   return std::nullopt;
 }
 
@@ -254,8 +258,11 @@ std::string ScenarioSpec::name() const {
     if (late_shift != 0.0) os << " late=" << late_shift;
     if (split_shift != 0.0) os << " shift=" << split_shift;
   }
-  if (f_actual > 0 && world == WorldKind::kRelay)
+  if (f_actual > 0 && world == WorldKind::kRelay) {
     os << " fault=" << relay::to_string(relay_fault);
+    if (relay_fault == relay::RelayFaultKind::kSearch)
+      os << " budget=" << search_budget;
+  }
   if (crypto != CryptoMode::kReal) os << " crypto=" << to_string(crypto);
   if (dynamic()) {
     os << " churn=" << churn_rate;
@@ -318,6 +325,14 @@ std::uint64_t ScenarioSpec::key() const noexcept {
       h = fold(h, std::uint64_t{0x1c1105});
       h = fold(h, kllo_stab);
     }
+  }
+  // The search budget matters only to kSearch cells, which did not exist
+  // before this axis did — folding it conditionally at the end keeps every
+  // pre-existing digest (and seed, resume journal, and history baseline)
+  // byte-identical, and lets the budget axis collapse on every other kind.
+  if (relay_fault == relay::RelayFaultKind::kSearch) {
+    h = fold(h, std::uint64_t{0x5ea4c4});
+    h = fold(h, static_cast<std::uint64_t>(search_budget));
   }
   return h;
 }
@@ -494,9 +509,39 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                       if (relay && faults > 0) {
                         // Faulty relay points multiply by the relay-fault
                         // axis instead of the (complete-world) strategies.
+                        // Oblivious kinds keep their historical static-only
+                        // cells (pre-existing sweep surfaces stay
+                        // byte-identical); the adaptive kinds additionally
+                        // take the churn axes, and kSearch alone multiplies
+                        // by the search-budget axis.
+                        const std::vector<std::uint32_t> budget_axis =
+                            search_budgets.empty()
+                                ? std::vector<std::uint32_t>{8}
+                                : search_budgets;
                         for (const auto fault : relay_faults) {
                           spec.relay_fault = fault;
-                          push(spec);
+                          if (!relay::adaptive(fault)) {
+                            spec.search_budget = 8;
+                            push(spec);
+                            continue;
+                          }
+                          const std::vector<std::uint32_t> budgets =
+                              fault == relay::RelayFaultKind::kSearch
+                                  ? budget_axis
+                                  : std::vector<std::uint32_t>{8};
+                          for (const std::uint32_t budget : budgets) {
+                            spec.search_budget = std::max(budget, 1u);
+                            for (const auto& churn : churn_axis) {
+                              spec.churn_rate = churn.rate;
+                              spec.join_batch = churn.batch;
+                              spec.reconnect = churn.reconnect;
+                              push(spec);
+                            }
+                            spec.churn_rate = 0.0;
+                            spec.join_batch = 0;
+                            spec.reconnect = relay::ReconnectPolicy::kRandom;
+                          }
+                          spec.search_budget = 8;
                         }
                         continue;
                       }

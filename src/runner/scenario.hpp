@@ -153,8 +153,14 @@ struct ScenarioSpec {
   /// Byzantine behavior; only consulted when f_actual > 0 (kComplete only).
   core::ByzStrategy strategy = core::ByzStrategy::kCrash;
   /// Relay-only: how faulty relays misbehave (crash / max-delay / reorder /
-  /// selective-drop); only consulted when f_actual > 0.
+  /// selective-drop / greedy-skew / search); only consulted when
+  /// f_actual > 0.
   relay::RelayFaultKind relay_fault = relay::RelayFaultKind::kCrash;
+  /// kSearch only: how many candidate attack schedules the runner tries per
+  /// cell (candidate 0 plays greedy-skew, so search weakly dominates it by
+  /// construction). Folds into key() only for kSearch cells — every other
+  /// spec keeps its historical digest regardless of this value.
+  std::uint32_t search_budget = 8;
   /// When true (and f_actual > 0), runs the ST certificate-acceleration
   /// attack (all faulty nodes target node n-1) instead of `strategy`.
   bool st_accelerator = false;
@@ -241,9 +247,17 @@ struct SweepGrid {
   std::vector<sim::ClockKind> clock_kinds{sim::ClockKind::kSpread};
   std::vector<TopologyKind> topologies{TopologyKind::kComplete};
   std::vector<core::ByzStrategy> strategies{core::ByzStrategy::kCrash};
-  /// Relay-fault behaviors for faulty kRelay grid points.
+  /// Relay-fault behaviors for faulty kRelay grid points. The adaptive kinds
+  /// (greedy-skew, search) additionally multiply by the dynamic churn axes —
+  /// an adaptive adversary under churn is exactly the regime the
+  /// observation-refresh machinery exists for — while the oblivious kinds
+  /// keep their historical static-only cells.
   std::vector<relay::RelayFaultKind> relay_faults{
       relay::RelayFaultKind::kCrash};
+  /// Search budgets (candidate attack schedules per kSearch cell). The axis
+  /// multiplies only kSearch grid points; every other kind pins the spec's
+  /// search_budget to the default so the axis collapses via digest dedup.
+  std::vector<std::uint32_t> search_budgets{8};
   /// Crypto-mode axis (kTheorem5 collapses to kReal — the construction's
   /// adversary forges nothing, so the axis has no effect there).
   std::vector<CryptoMode> cryptos{CryptoMode::kReal};
