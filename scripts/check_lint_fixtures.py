@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Golden-fixture suite for scripts/lint_determinism.py.
+
+Each tests/lint_fixtures/*.cpp declares its expected findings in a header
+comment:
+
+    // expect: <rule> [<rule> ...]     (one token per expected finding)
+    // expect: clean                   (the linter must report nothing)
+
+The harness runs the linter on every fixture in isolation and fails when
+the reported rule multiset differs from the declaration — so a rule that
+stops firing (regression) and a rule that starts over-firing (false
+positive) both break this suite. It finishes by linting the real tree,
+which must be clean: the fixtures prove the rules can fire, the tree run
+proves they currently don't.
+
+Usage: check_lint_fixtures.py [--repo ROOT]
+Exit status: 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"^//\s*expect:\s*(.+?)\s*$", re.MULTILINE)
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([a-z\-]+)\] ", re.MULTILINE)
+
+
+def run_linter(repo, args):
+    return subprocess.run(
+        [sys.executable, os.path.join(repo, "scripts", "lint_determinism.py"),
+         "--root", repo, *args],
+        capture_output=True, text=True)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo", default=None, help="repo root")
+    args = parser.parse_args(argv)
+    repo = os.path.abspath(args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    fixture_dir = os.path.join(repo, "tests", "lint_fixtures")
+
+    fixtures = sorted(f for f in os.listdir(fixture_dir) if f.endswith(".cpp"))
+    if not fixtures:
+        print("error: no fixtures found in", fixture_dir, file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in fixtures:
+        path = os.path.join(fixture_dir, name)
+        text = open(path, encoding="utf-8").read()
+        m = EXPECT_RE.search(text)
+        if not m:
+            failures.append(f"{name}: missing '// expect:' declaration")
+            continue
+        tokens = m.group(1).split()
+        expected = sorted([] if tokens == ["clean"] else tokens)
+
+        proc = run_linter(repo, [path])
+        got = sorted(rule for _f, _l, rule in FINDING_RE.findall(proc.stdout))
+        want_exit = 0 if not expected else 1
+        if proc.returncode != want_exit:
+            failures.append(
+                f"{name}: exit {proc.returncode}, expected {want_exit}\n"
+                f"{proc.stdout}{proc.stderr}")
+        elif got != expected:
+            failures.append(
+                f"{name}: findings {got}, expected {expected}\n{proc.stdout}")
+        else:
+            print(f"ok {name}: {expected if expected else 'clean'}")
+
+    proc = run_linter(repo, [])
+    if proc.returncode != 0:
+        failures.append(
+            f"full-tree lint must be clean but found:\n{proc.stdout}")
+    else:
+        print("ok full tree: clean")
+
+    for f in failures:
+        print("FAIL", f, file=sys.stderr)
+    print(f"check_lint_fixtures: {len(fixtures)} fixtures, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,9 +37,11 @@ SignedPayload make_pulse_payload(Round round) {
 SignedPayload make_value_payload(Round round, NodeId dealer, double value) {
   std::ostringstream oss;
   oss << "cb-value|r=" << round << "|dealer=" << dealer << "|v=";
-  // Hexfloat keeps the encoding canonical and lossless.
+  // Hexfloat keeps the encoding canonical and lossless: %a prints the exact
+  // bit pattern (no rounding, no shortest-form search), and this process
+  // never touches the C locale, so identical bits sign identical payloads.
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%a", value);
+  std::snprintf(buf, sizeof buf, "%a", value);  // lint:allow(float-format)
   oss << buf;
   return SignedPayload{oss.str()};
 }

@@ -110,7 +110,7 @@ RelayEffective EffectiveCache::get(std::uint64_t key,
   CS_CHECK_MSG(config.schedule == nullptr || !config.schedule->dynamic(),
                "EffectiveCache must not serve dynamic schedules");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = analyses_.find(key);
     if (it != analyses_.end()) {
       ++hits_;
@@ -123,19 +123,19 @@ RelayEffective EffectiveCache::get(std::uint64_t key,
   // Analyze outside the lock: a racing duplicate computes the same value
   // (analysis is a pure function of the keyed inputs); emplace keeps one.
   const RelayAnalysis analysis = analyze_worst_hops(config);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   analyses_.emplace(key, analysis);
   ++misses_;
   return effective_from_hops(config.hop_model, analysis);
 }
 
 std::size_t EffectiveCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return hits_;
 }
 
 std::size_t EffectiveCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return misses_;
 }
 

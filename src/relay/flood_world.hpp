@@ -32,7 +32,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "sim/node.hpp"
 #include "sim/trace.hpp"
 #include "sim/world.hpp"
+#include "util/thread_safety.hpp"
 
 namespace crusader::relay {
 
@@ -196,10 +196,12 @@ class EffectiveCache {
   [[nodiscard]] std::size_t misses() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, RelayAnalysis> analyses_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  mutable util::Mutex mu_;
+  /// Membership-only map (find/emplace — never iterated: iteration order
+  /// would be hash-dependent and must not feed any output).
+  std::unordered_map<std::uint64_t, RelayAnalysis> analyses_ CS_GUARDED_BY(mu_);
+  std::size_t hits_ CS_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ CS_GUARDED_BY(mu_) = 0;
 };
 
 class RelayWorld {

@@ -229,6 +229,7 @@ CsvCampaign::CsvCampaign(Options options,
 }
 
 void CsvCampaign::append(const ScenarioResult& result) {
+  util::MutexLock lock(mu_);
   if (done_ >= expected_keys_.size())
     bail("append past the end of the grid");
   if (result.spec.key() != expected_keys_[done_])
@@ -249,6 +250,9 @@ void CsvCampaign::checkpoint() {
   checkpointed_ = done_;
 }
 
-void CsvCampaign::finish() { checkpoint(); }
+void CsvCampaign::finish() {
+  util::MutexLock lock(mu_);
+  checkpoint();
+}
 
 }  // namespace crusader::runner

@@ -28,6 +28,7 @@
 
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
+#include "util/thread_safety.hpp"
 
 namespace crusader::runner {
 
@@ -64,7 +65,10 @@ class CsvCampaign {
 
   /// Number of specs already recorded; the caller runs specs[resume_index()
   /// ..] and appends each result, in order, via append().
-  [[nodiscard]] std::size_t resume_index() const noexcept { return done_; }
+  [[nodiscard]] std::size_t resume_index() const noexcept {
+    util::MutexLock lock(mu_);
+    return done_;
+  }
 
   /// Appends the next spec's result: writes + flushes the CSV row, then
   /// checkpoints the manifest when due. Must be called in spec order (the
@@ -79,14 +83,21 @@ class CsvCampaign {
   void finish();
 
  private:
-  void checkpoint();
+  void checkpoint() CS_REQUIRES(mu_);
 
+  // The streamed runner's ordered sink already serializes append() calls
+  // under its reorder-window lock, but that is a caller convention the
+  // compiler cannot see. The campaign carries its own (uncontended) mutex so
+  // its lock discipline is machine-checked and a future caller that streams
+  // from multiple sinks is safe by construction, not by comment.
+  mutable util::Mutex mu_;
   Options options_;
   std::vector<std::uint64_t> expected_keys_;  ///< spec digests, grid order
-  std::size_t done_ = 0;          ///< rows recorded (CSV) so far
-  std::size_t checkpointed_ = 0;  ///< digests flushed to the manifest
-  std::ofstream csv_;
-  std::ofstream manifest_;
+  std::size_t done_ CS_GUARDED_BY(mu_) = 0;  ///< rows recorded (CSV) so far
+  /// Digests flushed to the manifest.
+  std::size_t checkpointed_ CS_GUARDED_BY(mu_) = 0;
+  std::ofstream csv_ CS_GUARDED_BY(mu_);
+  std::ofstream manifest_ CS_GUARDED_BY(mu_);
 };
 
 }  // namespace crusader::runner

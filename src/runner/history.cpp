@@ -12,6 +12,7 @@
 #include "runner/scenario.hpp"
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 
 namespace crusader::runner {
 
@@ -19,6 +20,12 @@ namespace {
 
 using util::fmt_double;
 constexpr auto fmt = fmt_double;
+
+// Serializes in-process appends: two sweeps sharing one history file (e.g.
+// a test harness driving runs on worker threads) must interleave whole
+// lines, never buffered fragments. Cross-process appends remain the
+// caller's concern (CI runs are sequential).
+util::Mutex g_append_mu;
 
 }  // namespace
 
@@ -244,6 +251,7 @@ std::optional<HistoryEntry> load_baseline(std::istream& is,
 }
 
 void append_history(const std::string& path, const HistoryEntry& entry) {
+  util::MutexLock lock(g_append_mu);
   const bool fresh = [&] {
     std::ifstream probe(path);
     return !probe.good() || probe.peek() == std::ifstream::traits_type::eof();

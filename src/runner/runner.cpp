@@ -8,7 +8,6 @@
 #include <exception>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -23,6 +22,7 @@
 #include "sim/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 
 namespace crusader::runner {
 
@@ -529,13 +529,20 @@ void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
   // seed comes from its spec digest (not the schedule), and completed
   // results wait in a bounded reorder window until every earlier index has
   // flushed — so the sink sees the exact single-thread sequence while memory
-  // stays O(threads).
+  // stays O(threads). All cross-thread state lives in ReorderWindow with its
+  // lock discipline machine-checked (CS_GUARDED_BY + clang -Wthread-safety);
+  // only the work-stealing index stays a bare atomic.
+  struct ReorderWindow {
+    util::Mutex mu;
+    /// Signaled when the window advances (a flush) or the sweep aborts.
+    /// _any because it waits on the annotated util::Mutex directly.
+    std::condition_variable_any window_open;
+    std::map<std::size_t, ScenarioResult> pending CS_GUARDED_BY(mu);
+    std::size_t next_flush CS_GUARDED_BY(mu) = 0;
+    std::exception_ptr failure CS_GUARDED_BY(mu);
+  };
   std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::condition_variable window_open;
-  std::map<std::size_t, ScenarioResult> pending;
-  std::size_t next_flush = 0;
-  std::exception_ptr failure;
+  ReorderWindow win;
   const std::size_t window = 2 * static_cast<std::size_t>(threads) + 8;
 
   auto worker = [&] {
@@ -544,25 +551,28 @@ void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
       if (i >= specs.size()) return;
       auto result = run_scenario_cached(specs[i], options, cache);
 
-      std::unique_lock<std::mutex> lock(mu);
-      window_open.wait(lock, [&] {
-        return failure != nullptr || i < next_flush + window;
-      });
-      if (failure != nullptr) return;  // sweep aborted: drop the result
-      pending.emplace(i, std::move(result));
-      while (!pending.empty() && pending.begin()->first == next_flush) {
+      util::MutexLock lock(win.mu);
+      // Explicit wait loop (not the predicate overload): the condition
+      // reads guarded state, and here the analysis can see the lock is
+      // held around every read. wait() releases and reacquires win.mu.
+      while (win.failure == nullptr && i >= win.next_flush + window)
+        win.window_open.wait(win.mu);
+      if (win.failure != nullptr) return;  // sweep aborted: drop the result
+      win.pending.emplace(i, std::move(result));
+      while (!win.pending.empty() &&
+             win.pending.begin()->first == win.next_flush) {
         // Sink runs under the lock: serialized, strictly ordered.
         try {
-          sink(pending.begin()->second);
+          sink(win.pending.begin()->second);
         } catch (...) {
-          failure = std::current_exception();
+          win.failure = std::current_exception();
           next.store(specs.size(), std::memory_order_relaxed);
-          window_open.notify_all();
+          win.window_open.notify_all();
           return;
         }
-        pending.erase(pending.begin());
-        ++next_flush;
-        window_open.notify_all();
+        win.pending.erase(win.pending.begin());
+        ++win.next_flush;
+        win.window_open.notify_all();
       }
     }
   };
@@ -570,6 +580,11 @@ void run_sweep_streamed(const std::vector<ScenarioSpec>& specs,
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
+  std::exception_ptr failure;
+  {
+    util::MutexLock lock(win.mu);
+    failure = win.failure;
+  }
   if (failure != nullptr) std::rethrow_exception(failure);
 }
 

@@ -38,7 +38,9 @@ class WallBudget {
   [[nodiscard]] static bool expired();
 
  private:
-  std::chrono::steady_clock::time_point prev_deadline_;
+  // Sanctioned real-clock use: the budget decides WHEN to abort, never what
+  // a row contains (aborted cells export NaN metrics and retry on resume).
+  std::chrono::steady_clock::time_point prev_deadline_;  // lint:allow(banned-time)
   bool prev_armed_;
 };
 

@@ -2,28 +2,32 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <iomanip>
 #include <limits>
 #include <ostream>
 
+#include "util/fmt.hpp"
+
 namespace crusader::sim {
+
+// Float → text goes through util::fmt_double (shortest round-trip, locale
+// independent) like every other determinism-relevant writer. The previous
+// std::setprecision(12) stream state truncated below round-trip fidelity
+// and was exactly the kind of bypass scripts/lint_determinism.py now flags.
 
 void write_pulses_csv(const PulseTrace& trace, std::ostream& os) {
   os << "node,role,round,real_time,local_time\n";
-  os << std::setprecision(12);
   for (NodeId v = 0; v < trace.n(); ++v) {
     const auto& pulses = trace.pulses(v);
     for (std::size_t r = 0; r < pulses.size(); ++r) {
       os << v << ',' << (trace.is_faulty(v) ? "faulty" : "honest") << ','
-         << (r + 1) << ',' << pulses[r].real_time << ','
-         << pulses[r].local_time << '\n';
+         << (r + 1) << ',' << util::fmt_double(pulses[r].real_time) << ','
+         << util::fmt_double(pulses[r].local_time) << '\n';
     }
   }
 }
 
 void write_rounds_csv(const PulseTrace& trace, std::ostream& os) {
   os << "round,skew,min_pulse,max_pulse\n";
-  os << std::setprecision(12);
   const std::size_t rounds = trace.complete_rounds();
   for (std::size_t r = 0; r < rounds; ++r) {
     double lo = std::numeric_limits<double>::infinity();
@@ -34,7 +38,8 @@ void write_rounds_csv(const PulseTrace& trace, std::ostream& os) {
       lo = std::min(lo, t);
       hi = std::max(hi, t);
     }
-    os << (r + 1) << ',' << (hi - lo) << ',' << lo << ',' << hi << '\n';
+    os << (r + 1) << ',' << util::fmt_double(hi - lo) << ','
+       << util::fmt_double(lo) << ',' << util::fmt_double(hi) << '\n';
   }
 }
 

@@ -4,10 +4,22 @@
 #include <iostream>
 #include <string>
 
+#include "util/thread_safety.hpp"
+
 namespace crusader::util {
 
 namespace {
+// Relaxed ordering is deliberate and sufficient: the level is a standalone
+// gate — no other memory is published through it, so there is nothing for
+// acquire/release to order. A racing set_log_level simply takes effect on
+// the next load, which is the semantics a global verbosity knob wants.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes whole-line emission. std::cerr itself is data-race-free per
+// [iostream.objects.overview], but without this lock two threads' inserter
+// chains interleave character runs mid-line; worker-thread warnings (relay
+// sampling, budget trips) would come out shredded.
+Mutex g_emit_mu;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,6 +43,7 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
+  MutexLock lock(g_emit_mu);
   std::cerr << "[" << level_name(level) << "] " << msg << '\n';
 }
 

@@ -15,8 +15,9 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 /// Emit a line at `level`. The level gate is atomic so the sweep runner can
-/// run worlds on worker threads; concurrent emissions may still interleave
-/// on stderr (each world is itself single-threaded).
+/// run worlds on worker threads, and emission is serialized under a mutex:
+/// a line is written whole — concurrent workers (e.g. the sampling CS_WARN
+/// from two relay analyses) can no longer interleave characters on stderr.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

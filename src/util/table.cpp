@@ -28,15 +28,18 @@ Table& Table::add_row(std::vector<std::string> row) {
   return *this;
 }
 
+// Human-facing console alignment only: Table output is never digested,
+// exported to CSV, or replayed — fixed precision is a display choice here,
+// not a determinism hazard (CSV/history writers must use util::fmt_double).
 std::string Table::num(double v, int precision) {
   std::ostringstream oss;
-  oss << std::fixed << std::setprecision(precision) << v;
+  oss << std::fixed << std::setprecision(precision) << v;  // lint:allow(float-format)
   return oss.str();
 }
 
 std::string Table::sci(double v, int precision) {
   std::ostringstream oss;
-  oss << std::scientific << std::setprecision(precision) << v;
+  oss << std::scientific << std::setprecision(precision) << v;  // lint:allow(float-format)
   return oss.str();
 }
 
@@ -44,7 +47,8 @@ std::string Table::integer(long long v) { return std::to_string(v); }
 
 std::string Table::pct(double ratio, int precision) {
   std::ostringstream oss;
-  oss << std::fixed << std::setprecision(precision) << (100.0 * ratio) << "%";
+  oss << std::fixed << std::setprecision(precision) << (100.0 * ratio)  // lint:allow(float-format)
+      << "%";
   return oss.str();
 }
 

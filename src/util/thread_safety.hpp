@@ -1,0 +1,92 @@
+#pragma once
+// Clang Thread Safety Analysis annotations + the annotated lock primitives
+// every shared mutable structure in this repo uses. On clang the macros
+// expand to the `capability` attribute family and `-Wthread-safety
+// -Werror=thread-safety` (CMake option CRUSADER_THREAD_SAFETY, on by
+// default) turns a lock-discipline violation into a compile error; on every
+// other compiler they expand to nothing and the wrappers are plain
+// std::mutex forwarding.
+//
+// Why wrappers at all: libstdc++'s std::mutex carries no annotations, so
+// the analysis cannot see through std::lock_guard / std::unique_lock.
+// util::Mutex + util::MutexLock are the canonical annotated shims (same
+// shape as the ones in the clang docs and Abseil): a CS_CAPABILITY class
+// whose lock()/unlock() are CS_ACQUIRE/CS_RELEASE, plus a
+// CS_SCOPED_CAPABILITY RAII guard. std::condition_variable_any waits
+// directly on util::Mutex (it is BasicLockable), so the streamed-sweep
+// reorder window keeps its condition-variable shape under analysis.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CS_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef CS_TSA
+#define CS_TSA(x)  // no-op outside clang: annotations are advisory there
+#endif
+
+#define CS_CAPABILITY(x) CS_TSA(capability(x))
+#define CS_SCOPED_CAPABILITY CS_TSA(scoped_lockable)
+#define CS_GUARDED_BY(x) CS_TSA(guarded_by(x))
+#define CS_PT_GUARDED_BY(x) CS_TSA(pt_guarded_by(x))
+#define CS_ACQUIRED_BEFORE(...) CS_TSA(acquired_before(__VA_ARGS__))
+#define CS_ACQUIRED_AFTER(...) CS_TSA(acquired_after(__VA_ARGS__))
+#define CS_REQUIRES(...) CS_TSA(requires_capability(__VA_ARGS__))
+#define CS_REQUIRES_SHARED(...) CS_TSA(requires_shared_capability(__VA_ARGS__))
+#define CS_ACQUIRE(...) CS_TSA(acquire_capability(__VA_ARGS__))
+#define CS_ACQUIRE_SHARED(...) CS_TSA(acquire_shared_capability(__VA_ARGS__))
+#define CS_RELEASE(...) CS_TSA(release_capability(__VA_ARGS__))
+#define CS_RELEASE_SHARED(...) CS_TSA(release_shared_capability(__VA_ARGS__))
+#define CS_TRY_ACQUIRE(...) CS_TSA(try_acquire_capability(__VA_ARGS__))
+#define CS_EXCLUDES(...) CS_TSA(locks_excluded(__VA_ARGS__))
+#define CS_ASSERT_CAPABILITY(x) CS_TSA(assert_capability(x))
+#define CS_RETURN_CAPABILITY(x) CS_TSA(lock_returned(x))
+#define CS_NO_THREAD_SAFETY_ANALYSIS CS_TSA(no_thread_safety_analysis)
+
+namespace crusader::util {
+
+/// std::mutex with the `mutex` capability: the analysis tracks who holds it
+/// and rejects unguarded access to CS_GUARDED_BY members.
+class CS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CS_ACQUIRE() { mu_.lock(); }
+  void unlock() CS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over util::Mutex — the annotated std::lock_guard. Also
+/// BasicLockable-compatible via the explicit lock()/unlock() pair so
+/// condition-variable code can release/reacquire mid-scope.
+class CS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CS_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() CS_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() CS_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+}  // namespace crusader::util

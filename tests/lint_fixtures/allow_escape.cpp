@@ -1,0 +1,30 @@
+// Golden fixture for scripts/lint_determinism.py — the lint:allow escape
+// hatch and comment/string handling.
+// expect: clean
+// Everything here would violate a rule, but each use is suppressed (same
+// line or preceding line), mentioned only inside a comment, or only inside
+// a string literal — the linter must report nothing.
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+double sanctioned() {
+  // A comment mentioning std::mt19937 or system_clock must not fire.
+  const char* doc = "uses std::rand and steady_clock";  // strings either
+
+  // Justification: this fixture demonstrates a sanctioned wall read.
+  const auto t = std::chrono::steady_clock::now();  // lint:allow(banned-time)
+
+  std::unordered_map<int, int> m;
+  m.emplace(1, 2);
+  int acc = 0;
+  // lint:allow(unordered-iter) — justification: demo of preceding-line allow
+  for (const auto& [k, v] : m) acc += k + v;
+
+  return static_cast<double>(acc) +
+         std::chrono::duration<double>(t.time_since_epoch()).count() * 0.0 +
+         (doc != nullptr ? 0.0 : 1.0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Golden fixture for scripts/lint_determinism.py — rule: banned-random.
+// expect: banned-random banned-random banned-random
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double unseeded_noise() {
+  std::random_device rd;             // VIOLATION: hardware entropy
+  std::mt19937 gen(rd());            // VIOLATION: non-repo RNG engine
+  return static_cast<double>(std::rand()) / RAND_MAX;  // VIOLATION: C rand
+}
+
+}  // namespace fixture

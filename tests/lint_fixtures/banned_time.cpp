@@ -1,0 +1,23 @@
+// Golden fixture for scripts/lint_determinism.py — rule: banned-time.
+// expect: banned-time banned-time banned-time
+// Identifier *names* containing "time"/"clock" (next_time(), pulse_time(v),
+// hardware_clock) must NOT be flagged — only real wall-clock reads.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+struct Probe {
+  double next_time() const { return 1.0; }  // fine: simulated time
+};
+
+double wall_reads() {
+  const auto a = std::chrono::system_clock::now();   // VIOLATION
+  const auto b = std::chrono::steady_clock::now();   // VIOLATION
+  const auto c = time(nullptr);                      // VIOLATION
+  Probe p;
+  return p.next_time() + static_cast<double>(c) +
+         std::chrono::duration<double>(b - a).count() * 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Golden fixture for scripts/lint_determinism.py — rule: float-format.
+// expect: float-format float-format
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+std::string stream_precision(double v) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(6) << v;  // VIOLATION: stream state
+  return oss.str();
+}
+
+std::string printf_float(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);  // VIOLATION: printf %g
+  return buf;
+}
+
+std::string printf_int_is_fine(int v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%d", v);  // fine: integer conversion
+  return buf;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Golden fixture for scripts/lint_determinism.py — rule: pointer-key.
+// expect: pointer-key pointer-key
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+int sum_in_address_order() {
+  std::map<Node*, int, std::less<Node*>> weight;   // VIOLATION: ptr-keyed map
+  std::set<const Node*> live;                      // VIOLATION: ptr-keyed set
+  std::map<int, Node*> by_id;  // fine: pointer VALUES, integer keys
+  int total = 0;
+  for (const auto& [node, w] : weight) total += node->id * w;
+  (void)live;
+  (void)by_id;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Golden fixture for scripts/lint_determinism.py — rule: unordered-iter.
+// expect: unordered-iter unordered-iter
+// The linter must flag both the range-for and the explicit .begin() walk,
+// and must NOT flag the membership check (find() != end()).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t digest_of_everything() {
+  std::unordered_map<std::uint64_t, double> cache;
+  std::unordered_set<std::uint64_t> seen;
+  cache.emplace(1, 2.0);
+  seen.insert(3);
+
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : cache) h ^= k;  // VIOLATION: hash-order fold
+
+  auto it = seen.begin();  // VIOLATION: hash-order walk
+  if (it != seen.end()) h ^= *it;
+
+  // Fine: membership only, no ordering consumed.
+  if (cache.find(7) != cache.end()) h ^= 7;
+  return h;
+}
+
+}  // namespace fixture

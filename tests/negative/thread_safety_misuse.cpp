@@ -1,0 +1,38 @@
+// Negative-compile probe for the thread-safety lane.
+//
+// This translation unit deliberately reads and writes a CS_GUARDED_BY
+// member without holding its mutex. It is NOT part of any shipped target:
+// CMake wraps it in an EXCLUDE_FROM_ALL object library whose build is
+// registered as a ctest with WILL_FAIL, gated on clang. If the analysis
+// ever stops rejecting this file (macro rot, flag dropped from the lane),
+// the test goes green-on-build and ctest reports the failure.
+#include "util/thread_safety.hpp"
+
+namespace negative {
+
+struct Counter {
+  util::Mutex mu;
+  long hits CS_GUARDED_BY(mu) = 0;
+
+  void bump_locked() {
+    util::MutexLock lock(mu);
+    ++hits;  // fine: lock held
+  }
+
+  void bump_racy() {
+    ++hits;  // must fail: writing guarded state without mu
+  }
+
+  long peek_racy() const {
+    return hits;  // must fail: reading guarded state without mu
+  }
+};
+
+long drive() {
+  Counter c;
+  c.bump_locked();
+  c.bump_racy();
+  return c.peek_racy();
+}
+
+}  // namespace negative

@@ -12,6 +12,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "relay/flood_world.hpp"
@@ -386,6 +387,65 @@ TEST(MemoCache, HitReturnsIdenticalEffectiveOnRandomFamily) {
   const auto fresh = cache.get(43, other);
   EXPECT_EQ(cache.misses(), 2u);
   EXPECT_EQ(fresh.worst_hops, relay::compute_effective(other).worst_hops);
+}
+
+TEST(MemoCache, ConcurrentGetsAreRaceFreeAndConsistent) {
+  // Regression for the cache's lock discipline (shared access from sweep
+  // workers): hammer one cache from several threads with a mix of repeated
+  // and distinct keys. Under TSan this is the race probe; on a plain build
+  // it still checks the counter bookkeeping stays exact (misses == number
+  // of distinct keys, every other lookup a hit) and that hot-key results
+  // match the uncached analysis bit-for-bit.
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 8;
+  constexpr int kDistinct = 3;
+
+  std::vector<relay::RelayConfig> configs(kDistinct);
+  for (int k = 0; k < kDistinct; ++k) {
+    auto& config = configs[k];
+    config.topology = relay::Topology::random_connected(8, 2, 1000 + k);
+    config.hop_model.n = 8;
+    config.hop_model.f = 2;
+    config.hop_model.d = 1.0;
+    config.hop_model.u = 0.01;
+    config.hop_model.u_tilde = 0.01;
+    config.hop_model.vartheta = 1.001;
+    config.faulty = {0, 1};
+  }
+  const auto expected = relay::compute_effective(configs[0]);
+
+  relay::EffectiveCache cache;
+  std::vector<relay::RelayEffective> hot(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int r = 0; r < kRepeats; ++r) {
+        for (int k = 0; k < kDistinct; ++k) {
+          const auto eff =
+              cache.get(static_cast<std::uint64_t>(k), configs[k]);
+          if (k == 0) hot[t] = eff;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kRepeats * kDistinct);
+  // Concurrent first lookups may each miss-and-analyze before the winner's
+  // emplace lands, so misses can exceed kDistinct — but never the first
+  // wave of lookups, and the steady state must be all hits.
+  EXPECT_GE(cache.misses(), static_cast<std::uint64_t>(kDistinct));
+  EXPECT_LE(cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kDistinct);
+  for (const auto& eff : hot) {
+    EXPECT_EQ(eff.worst_hops, expected.worst_hops);
+    EXPECT_EQ(eff.model.d, expected.model.d);
+    EXPECT_EQ(eff.model.u, expected.model.u);
+    EXPECT_EQ(eff.model.u_tilde, expected.model.u_tilde);
+    EXPECT_EQ(eff.model.vartheta, expected.model.vartheta);
+  }
 }
 
 TEST(MemoCache, CachedSweepCsvIdenticalToUncached) {

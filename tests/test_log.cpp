@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <gtest/gtest.h>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sim/trace_io.hpp"
 #include "util/log.hpp"
@@ -29,6 +32,57 @@ TEST(Log, ThresholdFilters) {
   util::log_line(util::LogLevel::kDebug, "dropped");
   util::set_log_level(util::LogLevel::kOff);
   util::log_line(util::LogLevel::kError, "also dropped");
+}
+
+TEST(Log, ConcurrentEmissionNeverTearsLines) {
+  // Regression for the emission lock in log_line: the line is built from
+  // several stream inserts ("[", level, "] ", msg, '\n'), so without the
+  // lock two threads' fragments interleave mid-line. Capture stderr and
+  // assert every emitted line survives intact and exactly once.
+  LogLevelGuard guard;
+  util::set_log_level(util::LogLevel::kError);
+  std::ostringstream captured;
+  std::streambuf* saved = std::cerr.rdbuf(captured.rdbuf());
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        // Assembled via += (GCC 12's -Wrestrict misfires on the
+        // char* + temporary-string operator+ chain).
+        std::string msg = "t";
+        msg += std::to_string(t);
+        msg += '-';
+        msg += std::to_string(i);
+        util::log_line(util::LogLevel::kError, msg);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  std::cerr.rdbuf(saved);
+
+  std::map<std::string, int> counts;
+  std::istringstream lines(captured.str());
+  std::string line;
+  std::size_t total = 0;
+  while (std::getline(lines, line)) {
+    ++total;
+    ASSERT_EQ(line.rfind("[ERROR] t", 0), 0u) << "torn line: " << line;
+    ++counts[line.substr(8)];
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads) * kLines);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kLines; ++i) {
+      std::string key = "t";
+      key += std::to_string(t);
+      key += '-';
+      key += std::to_string(i);
+      EXPECT_EQ(counts[key], 1) << "lost or duplicated: " << key;
+    }
+  }
 }
 
 TEST(Log, StreamMacroCompiles) {
